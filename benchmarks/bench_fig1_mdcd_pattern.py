@@ -1,0 +1,26 @@
+"""Figure 1 — the original MDCD checkpoint pattern.
+
+Regenerates the paper's Fig. 1 semantics as a measured trace: Type-1 and
+Type-2 volatile checkpoints strictly alternating on the high-confidence
+processes, none on ``P1_act``, and prints the checkpoint timeline.
+"""
+
+from repro.experiments.scenarios import figure1_checkpoint_pattern
+from repro.experiments.timeline import render_timeline
+
+
+def test_fig1_checkpoint_pattern(bench_once):
+    result = bench_once(figure1_checkpoint_pattern)
+    print()
+    print(result)
+    for pid, seq in result.data.items():
+        if pid == "system":
+            continue
+        print(f"  {pid}: {len(seq)} checkpoints: {' '.join(seq[:16])}"
+              f"{' ...' if len(seq) > 16 else ''}")
+    system = result.data["system"]
+    print()
+    print(render_timeline(system.trace,
+                          [p.process_id for p in system.process_list()],
+                          since=200.0, until=2200.0, width=100))
+    assert result.passed, result.details

@@ -1,0 +1,28 @@
+"""Figure 3 — the modified MDCD checkpoint pattern.
+
+Regenerates the paper's Fig. 3: pseudo checkpoints appear on ``P1_act``
+(one per validation-to-first-internal-send transition), Type-2
+establishment is eliminated everywhere.
+"""
+
+from repro.experiments.scenarios import figure3_modified_pattern
+from repro.experiments.timeline import render_timeline
+from repro.types import ProcessId, Role
+
+
+def test_fig3_modified_pattern(bench_once):
+    result = bench_once(figure3_modified_pattern)
+    print()
+    print(result)
+    for pid, seq in result.data.items():
+        if pid == "system":
+            continue
+        print(f"  {pid}: {len(seq)} checkpoints: {' '.join(seq[:16])}"
+              f"{' ...' if len(seq) > 16 else ''}")
+    system = result.data["system"]
+    print()
+    print(render_timeline(system.trace,
+                          [p.process_id for p in system.process_list()],
+                          since=200.0, until=2200.0, width=100,
+                          pseudo_for=ProcessId(Role.ACTIVE_1.value)))
+    assert result.passed, result.details

@@ -1,0 +1,29 @@
+"""Figure 4 — the consequences of naively combining MDCD with TB.
+
+(a) the naive combination loses P2's non-contaminated state: after a
+hardware fault, a subsequently detected software error cannot be
+recovered (the coordinated scheme recovers the identical fault
+sequence cleanly);
+
+(b) without the adapted protocol's mid-blocking content swap, an
+in-transit "passed AT" notification leaves the stable line invalid.
+"""
+
+from repro.experiments.scenarios import (
+    figure4a_naive_loss,
+    figure4b_in_transit_notification,
+)
+
+
+def test_fig4a_naive_loses_clean_state(bench_once):
+    result = bench_once(figure4a_naive_loss)
+    print()
+    print(result)
+    assert result.passed, result.details
+
+
+def test_fig4b_in_transit_notification(bench_once):
+    result = bench_once(figure4b_in_transit_notification)
+    print()
+    print(result)
+    assert result.passed, result.details

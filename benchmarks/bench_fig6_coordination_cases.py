@@ -1,0 +1,19 @@
+"""Figure 6 — stable-checkpoint establishment under protocol
+coordination.
+
+Audits every stable line a coordinated run establishes (validity-
+concerned consistency + recoverability + ground truth) and tallies the
+content cases of the paper's Fig. 6: current state (clean process),
+volatile copy (dirty process), swapped-to-current (confidence change
+mid-blocking).
+"""
+
+from repro.experiments.scenarios import figure6_coordination_cases
+
+
+def test_fig6_all_lines_valid(bench_once):
+    result = bench_once(figure6_coordination_cases)
+    print()
+    print(result)
+    print(f"  content cases: {result.data['contents']}")
+    assert result.passed, result.details

@@ -1,0 +1,66 @@
+"""Substrate microbenchmarks (not in the paper).
+
+The protocol results are only as trustworthy as the simulator beneath
+them, and campaign runtimes are dominated by three hot paths: the event
+kernel, message transport, and checkpoint capture (pickling).  These
+benches keep their costs visible so experiment configurations can be
+sized sensibly.
+"""
+
+from repro.app.workload import WorkloadConfig
+from repro.checkpoint import Checkpoint
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+from repro.types import CheckpointKind, ProcessId
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run cost of the event kernel."""
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule_after(0.001, tick, priority=EventPriority.ACTION)
+
+        sim.schedule_after(0.001, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_checkpoint_capture_cost(benchmark):
+    """Pickling cost of a representative process snapshot."""
+    system = build_system(SystemConfig(
+        scheme=Scheme.COORDINATED, seed=5, horizon=2000.0,
+        workload1=WorkloadConfig(internal_rate=0.1, external_rate=0.01,
+                                 step_rate=0.02, horizon=2000.0),
+        workload2=WorkloadConfig(internal_rate=0.05, external_rate=0.01,
+                                 step_rate=0.02, horizon=2000.0),
+        trace_enabled=False))
+    system.run()
+    peer = system.peer
+
+    checkpoint = benchmark(peer.capture_checkpoint, CheckpointKind.TYPE_1)
+    assert isinstance(checkpoint, Checkpoint)
+    assert checkpoint.process_id == ProcessId("P2")
+    assert checkpoint.size_bytes > 0
+
+
+def test_coordinated_simulation_rate(benchmark):
+    """End-to-end simulated-seconds-per-wall-second of a coordinated
+    system (the figure-of-merit for sizing Figure 7 campaigns)."""
+    def run():
+        system = build_system(SystemConfig(
+            scheme=Scheme.COORDINATED, seed=9, horizon=3000.0,
+            trace_enabled=False))
+        system.run()
+        return system.sim.events_executed
+
+    events = benchmark(run)
+    assert events > 100

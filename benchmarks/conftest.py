@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper and
+*prints* the rows/series the paper reports (run with ``-s`` to see them,
+e.g. ``pytest benchmarks/ --benchmark-only -s``).  Set ``REPRO_BENCH_FULL=1``
+for publication-sized sweeps (more replications, longer horizons).
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    """Whether to run publication-sized experiment configurations."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    The experiments are macro-benchmarks (whole simulation campaigns);
+    repeating them for statistical timing would multiply runtimes
+    without adding information, so one round is deliberate.
+    """
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+    return run

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Scheme shoot-out under a combined fault load.
+
+Runs the same workload, the same software-fault activation and the same
+Poisson crash schedule under four schemes — pure MDCD, write-through,
+naive combination, and the paper's coordination — and tabulates what
+each survives and at what rollback cost.  This is the paper's Section 1
+argument as a table: naive combination is *worse* than its parts, and
+coordination gets both fault classes at low cost.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro import (
+    HardwareFaultPlan,
+    Scheme,
+    SoftwareFaultPlan,
+    SystemConfig,
+    TbConfig,
+    WorkloadConfig,
+    build_system,
+)
+from repro.experiments.reporting import format_table
+from repro.sim.monitor import RunningStat
+from repro.sim.rng import RngRegistry
+
+HORIZON = 12_000.0
+SEEDS = (11, 22, 33)
+
+
+def crash_schedule(seed: int):
+    rng = RngRegistry(seed).stream("crashes")
+    t, plans = 0.0, []
+    while True:
+        t += rng.expovariate(1.0 / 2500.0)
+        if t >= HORIZON * 0.9:
+            return plans
+        plans.append(HardwareFaultPlan(
+            node_id=rng.choice(["N1a", "N1b", "N2"]), crash_at=t,
+            repair_time=2.0))
+
+
+def run(scheme: Scheme, seed: int):
+    config = SystemConfig(
+        scheme=scheme, seed=seed, horizon=HORIZON,
+        tb=TbConfig(interval=30.0),
+        workload1=WorkloadConfig(internal_rate=0.02, external_rate=0.002,
+                                 step_rate=0.02, horizon=HORIZON),
+        workload2=WorkloadConfig(internal_rate=0.01, external_rate=0.002,
+                                 step_rate=0.02, horizon=HORIZON),
+        trace_enabled=False)
+    system = build_system(config)
+    activate_at = HORIZON / 3.0
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=activate_at))
+    if scheme is not Scheme.MDCD_ONLY:
+        # One crash deliberately inside the detection window (after the
+        # fault activates, likely before the next acceptance test runs):
+        # the double-fault interleaving of the paper's Fig. 4(a).
+        system.inject_crash(HardwareFaultPlan(node_id="N2",
+                                              crash_at=activate_at + 80.0,
+                                              repair_time=2.0))
+        for plan in crash_schedule(seed):
+            system.inject_crash(plan)
+    system.run()
+    return system
+
+
+def main() -> None:
+    rows = []
+    for scheme in (Scheme.MDCD_ONLY, Scheme.WRITE_THROUGH, Scheme.NAIVE,
+                   Scheme.COORDINATED):
+        sw_recovered = 0
+        end_clean = 0
+        escaped = 0
+        hw = RunningStat()
+        crashes = 0
+        for seed in SEEDS:
+            system = run(scheme, seed)
+            if system.sw_recovery.completed:
+                sw_recovered += 1
+            survivors = [p for p in system.process_list()
+                         if not p.deposed and p.role.value != "P1_act"]
+            if all(not p.component.state.corrupt for p in survivors):
+                end_clean += 1
+            escaped += sum(1 for m in system.network.device_log if m.corrupt)
+            if system.hw_recovery is not None:
+                crashes += system.hw_recovery.recoveries
+                for d in system.hw_recovery.distances():
+                    hw.add(d)
+        rows.append([
+            scheme.value,
+            f"{sw_recovered}/{len(SEEDS)}",
+            f"{crashes}",
+            f"{hw.mean:.1f}" if hw.count else "n/a (no stable ckpts)",
+            f"{end_clean}/{len(SEEDS)}",
+            escaped,
+        ])
+    print(format_table(
+        ["scheme", "sw faults recovered", "hw recoveries",
+         "mean hw rollback (work-s)", "runs ending clean", "corrupt cmds escaped"],
+        rows,
+        title=f"Combined-fault campaign ({len(SEEDS)} seeds, "
+              f"{HORIZON:.0f} s each, 1 software fault + Poisson crashes)"))
+    print("\nReading the table: MDCD alone recovers the software fault but "
+          "has no stable checkpoints for crashes; write-through survives "
+          "both at a high rollback cost; the naive combination can end "
+          "contaminated (Fig. 4(a)); coordination survives both cheaply.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Guarded software upgrading — the paper's motivating application.
+
+An onboard software component is upgraded in flight.  The new version
+(``P1_act``) runs in the foreground under guard of the previous,
+high-confidence version (``P1_sdw``); the spacecraft's second component
+``P2`` keeps interacting with the upgraded version.  Mid-mission the
+upgrade's latent design fault activates; an acceptance test catches the
+first corrupt command before it reaches a device, and the MDCD recovery
+swaps the shadow in — rolling each process back (or forward) per its own
+dirty bit.  Meanwhile the adapted TB protocol has been writing stable
+checkpoints throughout, so a later transient hardware fault on one node
+is also survived, with a small rollback distance.
+
+Run:  python examples/guarded_upgrade.py
+"""
+
+from repro import (
+    HardwareFaultPlan,
+    Scheme,
+    SoftwareFaultPlan,
+    SystemConfig,
+    TbConfig,
+    WorkloadConfig,
+    build_system,
+)
+
+HORIZON = 8_000.0
+
+
+def main() -> None:
+    config = SystemConfig(
+        scheme=Scheme.COORDINATED, seed=7, horizon=HORIZON,
+        tb=TbConfig(interval=60.0),
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=0.005,
+                                 step_rate=0.02, horizon=HORIZON),
+        workload2=WorkloadConfig(internal_rate=0.03, external_rate=0.005,
+                                 step_rate=0.02, horizon=HORIZON))
+    system = build_system(config)
+
+    # The upgraded version's defect manifests 1500 s into guarded
+    # operation; a node crash follows much later.
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=1_500.0))
+    system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=5_000.0,
+                                          repair_time=2.0))
+    system.run()
+
+    print("=== Guarded software upgrade timeline ===\n")
+    interesting = ("fault.", "at.fail", "recovery.")
+    for rec in system.trace:
+        if rec.category.startswith(interesting):
+            who = f" [{rec.process}]" if rec.process else ""
+            extras = {k: v for k, v in rec.data.items()
+                      if k in ("distance", "node", "decisions", "epoch")}
+            print(f"  t={rec.time:9.2f}{who:10s} {rec.category:30s} {extras or ''}")
+
+    print("\n=== Outcome ===")
+    recovery = system.sw_recovery
+    print(f"Upgrade fault detected and shadow takeover completed: "
+          f"{recovery.completed}")
+    print(f"Local recovery decisions: "
+          f"{ {str(k): v.value for k, v in recovery.decisions.items()} }")
+    print(f"Suppressed messages re-sent by the shadow: {recovery.resent}")
+    print(f"Hardware recoveries: {system.hw_recovery.recoveries}; rollback "
+          f"distances (work-seconds): "
+          f"{[round(d, 1) for d in system.hw_recovery.distances()]}")
+    clean = all(not p.component.state.corrupt
+                for p in system.process_list() if not p.deposed)
+    corrupt_outputs = sum(1 for m in system.network.device_log if m.corrupt)
+    print(f"All in-service states non-contaminated at end of mission: {clean}")
+    print(f"Corrupt commands that reached devices: {corrupt_outputs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""GSU middleware: your own application under the coordination scheme.
+
+The paper's concluding remarks describe the GSU Middleware — the layer
+that hosts real application components under guarded operation.  This
+example writes a small attitude-control application against that API:
+
+* ``AttitudeControllerV2`` — the newly-uploaded controller (primary,
+  runs as ``P1_act`` with a latent design fault injected mid-mission);
+* ``AttitudeControllerV1`` — the proven controller escorting it as the
+  shadow;
+* ``StarTracker`` — the second component (``P2``) streaming attitude
+  fixes and relaying thruster commands.
+
+All protocol machinery — volatile/stable checkpoints, acceptance tests,
+dirty bits, blocking windows, shadow takeover, hardware rollback — is
+invisible to the application code: it just keeps state in ``ctx.state``
+and calls ``ctx.send`` / ``ctx.emit``.
+
+Run:  python examples/middleware_app.py
+"""
+
+from repro.middleware import ComponentLogic, GsuRuntime, MiddlewareConfig
+from repro.tb.blocking import TbConfig
+from repro.types import Role
+
+
+class AttitudeController(ComponentLogic):
+    """Closes the loop: consumes star-tracker fixes, commands thrusters."""
+
+    def on_start(self, ctx):
+        ctx.state.update(target=0.0, attitude=0.0, commands=0, fixes=0)
+
+    def on_message(self, ctx, value):
+        if isinstance(value, dict) and "fix" in value:
+            ctx.state["fixes"] += 1
+            ctx.state["attitude"] = value["fix"]
+
+    def on_tick(self, ctx):
+        error = ctx.state["target"] - ctx.state["attitude"]
+        if abs(error) > 0.01:
+            ctx.state["commands"] += 1
+            # Thruster command to the star tracker's node (it owns the
+            # actuator bus) and a telemetry frame to the ground.
+            ctx.send({"burn": error / 2.0})
+            ctx.emit({"telemetry": {"att": ctx.state["attitude"],
+                                    "cmds": ctx.state["commands"]}})
+
+
+class StarTracker(ComponentLogic):
+    """Streams attitude fixes; applies burns it is commanded."""
+
+    def on_start(self, ctx):
+        ctx.state.update(attitude=1.0, burns=0)
+
+    def on_tick(self, ctx):
+        # Slow natural drift plus the last commanded corrections.
+        ctx.state["attitude"] += 0.05
+        ctx.send({"fix": round(ctx.state["attitude"], 6)})
+
+    def on_message(self, ctx, value):
+        if isinstance(value, dict) and "burn" in value:
+            burn = value["burn"]
+            if not isinstance(burn, (int, float)):
+                return  # a corrupt command would be garbage; ignore shape
+            ctx.state["burns"] += 1
+            ctx.state["attitude"] += burn
+
+
+def main() -> None:
+    runtime = GsuRuntime(MiddlewareConfig(seed=11, tb=TbConfig(interval=40.0)))
+    runtime.install_component_one(primary=AttitudeController(),
+                                  secondary=AttitudeController(),
+                                  tick_period=6.0)
+    runtime.install_component_two(StarTracker(), tick_period=4.0)
+
+    runtime.inject_design_fault(at=500.0)       # the upload's latent bug
+    runtime.inject_crash("N1b", at=1500.0, repair_time=3.0)
+    runtime.run(until=2_500.0)
+
+    system = runtime.system
+    print("=== Mission report ===")
+    print(f"design fault detected by acceptance test: "
+          f"{system.trace.count('at.fail')} failure(s) caught")
+    print(f"shadow takeover completed: {runtime.takeover_happened()} "
+          f"(controller v1 now active)")
+    print(f"hardware recoveries: {system.hw_recovery.recoveries} "
+          f"(rollback distances "
+          f"{[round(d, 1) for d in system.hw_recovery.distances()]})")
+    controller = runtime.state_of(Role.SHADOW_1)
+    tracker = runtime.state_of(Role.PEER_2)
+    print(f"controller state: commands={controller['commands']}, "
+          f"fixes consumed={controller['fixes']}")
+    print(f"tracker state: burns applied={tracker['burns']}, "
+          f"attitude={tracker['attitude']:.3f} (target 0.0)")
+    corrupt = sum(1 for m in system.network.device_log if m.corrupt)
+    print(f"telemetry frames downlinked: {len(system.network.device_log)} "
+          f"({corrupt} corrupt)")
+    clean = all(not c.state.corrupt for c in runtime.in_service)
+    print(f"all in-service states non-contaminated: {clean}")
+
+
+if __name__ == "__main__":
+    main()

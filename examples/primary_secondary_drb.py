@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Primary/secondary software fault tolerance (DRB/NSCP style).
+
+The paper's second application of MDCD (Section 2.1): a
+better-performance / less-reliable *primary* routine runs in the
+foreground as ``P1_act`` and a poorer-performance / more-reliable
+*secondary* runs in the background as ``P1_sdw``, permanently — not just
+during an upgrade window.  This script runs a campaign of such
+deployments, each with the primary's defect activating at a random time,
+and reports how the guarded architecture performs: detection latency,
+recovery decisions, rollback distances, and whether any corrupt command
+ever escaped to a device.
+
+Run:  python examples/primary_secondary_drb.py
+"""
+
+from repro import (
+    Scheme,
+    SoftwareFaultPlan,
+    SystemConfig,
+    TbConfig,
+    WorkloadConfig,
+    build_system,
+)
+from repro.analysis import software_rollback_distances
+from repro.sim.monitor import RunningStat
+from repro.sim.rng import RngRegistry
+
+HORIZON = 4_000.0
+DEPLOYMENTS = 20
+
+
+def run_one(seed: int, activate_at: float):
+    config = SystemConfig(
+        scheme=Scheme.COORDINATED, seed=seed, horizon=HORIZON,
+        tb=TbConfig(interval=60.0),
+        workload1=WorkloadConfig(internal_rate=0.08, external_rate=0.02,
+                                 step_rate=0.02, horizon=HORIZON),
+        workload2=WorkloadConfig(internal_rate=0.04, external_rate=0.02,
+                                 step_rate=0.02, horizon=HORIZON))
+    system = build_system(config)
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=activate_at))
+    system.run()
+    detection = system.trace.last("at.fail")
+    return system, detection
+
+
+def main() -> None:
+    rng = RngRegistry(2024).stream("campaign")
+    latency = RunningStat()
+    rollback = RunningStat()
+    detected = 0
+    escaped = 0
+    decisions = {"rollback": 0, "roll-forward": 0}
+
+    for k in range(DEPLOYMENTS):
+        activate_at = rng.uniform(500.0, HORIZON / 2.0)
+        system, detection = run_one(seed=1000 + k, activate_at=activate_at)
+        escaped += sum(1 for m in system.network.device_log if m.corrupt)
+        if system.sw_recovery.completed and detection is not None:
+            detected += 1
+            latency.add(detection.time - activate_at)
+            for decision in system.sw_recovery.decisions.values():
+                decisions[decision.value] += 1
+            for d in software_rollback_distances(system.trace):
+                rollback.add(d)
+
+    print("=== Primary/secondary (DRB-style) campaign ===")
+    print(f"deployments:                     {DEPLOYMENTS}")
+    print(f"faults detected by AT:           {detected}")
+    print(f"corrupt commands reaching devices: {escaped}")
+    print(f"mean detection latency:          {latency.mean:8.1f} s "
+          f"(min {latency.minimum:.1f}, max {latency.maximum:.1f})")
+    print(f"recovery decisions:              {decisions}")
+    print(f"mean software rollback distance: {rollback.mean:8.1f} work-s "
+          f"over {rollback.count} rollbacks")
+    print("\nInterpretation: the acceptance test catches the primary's "
+          "fault at the next external message; contaminated processes "
+          "roll back only to their most recent volatile checkpoint "
+          "(confidence-adaptive recovery), clean ones roll forward, and "
+          "the secondary takes over without any corrupt output escaping.")
+
+
+if __name__ == "__main__":
+    main()

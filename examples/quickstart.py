@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: build a coordinated system, run it, inspect what happened.
+
+The paper's architecture in one script: three nodes host ``P1_act`` (the
+low-confidence version of component 1), ``P1_sdw`` (its high-confidence
+shadow) and ``P2`` (the second component).  The modified MDCD protocol
+manages volatile checkpoints and confidence; the adapted TB protocol
+establishes stable checkpoints every ``Delta`` seconds; the two
+coordinate through dirty bits and ``Ndc`` epochs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scheme, SystemConfig, TbConfig, WorkloadConfig, build_system
+from repro.analysis import check_system_line, common_stable_line, summarize_violations
+
+HORIZON = 3_000.0  # simulated seconds
+
+
+def main() -> None:
+    config = SystemConfig(
+        scheme=Scheme.COORDINATED,
+        seed=42,
+        horizon=HORIZON,
+        tb=TbConfig(interval=60.0),  # stable checkpoint every 60 s
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=0.01,
+                                 step_rate=0.02, horizon=HORIZON),
+        workload2=WorkloadConfig(internal_rate=0.02, external_rate=0.01,
+                                 step_rate=0.02, horizon=HORIZON),
+    )
+    system = build_system(config)
+    system.run()
+
+    print(f"Simulated {HORIZON:.0f} s on 3 nodes "
+          f"({system.sim.events_executed} events).\n")
+
+    print("Per-process protocol activity:")
+    for proc in system.process_list():
+        counters = proc.counters.as_dict()
+        interesting = {k: v for k, v in sorted(counters.items())
+                       if k.startswith(("checkpoint", "at.", "sent", "recv"))}
+        print(f"  {proc.process_id}:")
+        for name, value in interesting.items():
+            print(f"      {name:20s} {value}")
+
+    print("\nStable-checkpoint epochs completed:",
+          {str(p.process_id): p.hardware.ndc for p in system.process_list()})
+
+    line = common_stable_line(system)
+    violations = check_system_line(line)
+    print("\nValidity-concerned consistency/recoverability of the "
+          "hardware-recovery line:",
+          summarize_violations(violations) or "no violations")
+
+    print("\nDevice-bound external messages delivered:",
+          len(system.network.device_log),
+          "(all validated by acceptance tests)")
+
+
+if __name__ == "__main__":
+    main()

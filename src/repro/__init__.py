@@ -1,0 +1,78 @@
+"""repro — a reproduction of *"Synergistic Coordination between Software
+and Hardware Fault Tolerance Techniques"* (Tai, Tso, Alkalai, Chau,
+Sanders; DSN 2001).
+
+The library implements, on a deterministic discrete-event simulator of a
+three-node distributed system:
+
+* the **MDCD** (message-driven confidence-driven) software fault
+  tolerance protocol, original and modified variants;
+* the **TB** (time-based) checkpointing protocol of Neves & Fuchs,
+  original and adapted variants;
+* the paper's **coordinated scheme** (modified MDCD + adapted TB) and
+  its baselines (write-through, naive combination);
+* executable checkers for (validity-concerned) global-state consistency
+  and recoverability, rollback-distance instrumentation, and a
+  closed-form rollback model.
+
+Quick start::
+
+    from repro import Scheme, SystemConfig, build_system
+
+    system = build_system(SystemConfig(scheme=Scheme.COORDINATED, seed=1))
+    system.run(until=2_000.0)
+    print(system.peer.counters.as_dict())
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+reproductions of every table and figure in the paper's evaluation.
+"""
+
+from ._version import __version__
+from .app.acceptance import AcceptanceTestConfig
+from .app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from .app.workload import WorkloadConfig
+from .checkpoint import Checkpoint
+from .coordination.scheme import Scheme, System, SystemConfig, build_system
+from .errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+)
+from .host import FtProcess, IncarnationCounter, ProcessSnapshot
+from .sim.clock import ClockConfig
+from .sim.network import NetworkConfig
+from .tb.blocking import TbConfig
+from .types import CheckpointKind, MessageKind, RecoveryAction, Role, StableContent
+
+__all__ = [
+    "AcceptanceTestConfig",
+    "Checkpoint",
+    "CheckpointKind",
+    "ClockConfig",
+    "ConfigurationError",
+    "FtProcess",
+    "HardwareFaultPlan",
+    "IncarnationCounter",
+    "InvariantViolation",
+    "MessageKind",
+    "NetworkConfig",
+    "ProcessSnapshot",
+    "ProtocolError",
+    "RecoveryAction",
+    "RecoveryError",
+    "ReproError",
+    "Role",
+    "Scheme",
+    "SimulationError",
+    "SoftwareFaultPlan",
+    "StableContent",
+    "System",
+    "SystemConfig",
+    "TbConfig",
+    "WorkloadConfig",
+    "__version__",
+    "build_system",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every reproduction artifact is runnable from the shell:
+
+.. code-block:: bash
+
+    python -m repro scenarios           # Figures 1, 2, 3, 4, 6
+    python -m repro fig7 [--full]       # the headline rollback sweep
+    python -m repro table1              # original vs adapted TB
+    python -m repro overhead            # performance cost by scheme
+    python -m repro ablations           # design-choice removals
+    python -m repro demo                # one coordinated run, narrated
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_scenarios(_args) -> int:
+    from .experiments.scenarios import run_all_scenarios
+    results = run_all_scenarios()
+    for result in results:
+        print(result)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_fig7(args) -> int:
+    from .experiments.figure7 import Figure7Config, format_figure7, run_figure7
+    config = Figure7Config() if args.full else Figure7Config(
+        internal_rates=(60, 100, 140, 200), horizon=20_000.0, replications=1)
+    print(format_figure7(run_figure7(config)))
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from .experiments.table1 import Table1Config, format_table1, run_table1
+    config = Table1Config()
+    print(format_table1(run_table1(config), config))
+    return 0
+
+
+def _cmd_overhead(_args) -> int:
+    from .experiments.overhead import OverheadConfig, format_overhead, run_overhead
+    print(format_overhead(run_overhead(OverheadConfig())))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from .experiments.ablations import (
+        ablate_at_coverage,
+        ablate_blocking,
+        ablate_dirty_fraction,
+        ablate_ndc_gating,
+        ablate_swap,
+        format_ablation,
+    )
+    n = 2 if not args.full else 4
+    print(format_ablation("Ablation 1 — mid-blocking content swap",
+                          ablate_swap(12 if not args.full else 40)))
+    print()
+    print(format_ablation("Ablation 2 — Ndc gating",
+                          ablate_ndc_gating(seeds=n, horizon=2000.0)))
+    print()
+    print(format_ablation("Ablation 3 — blocking period",
+                          ablate_blocking(seeds=n, horizon=1000.0)))
+    print()
+    print(format_ablation("Ablation 4 — AT coverage",
+                          ablate_at_coverage(seeds=4)))
+    print()
+    print(format_ablation("Ablation 5 — dirty-fraction regime",
+                          ablate_dirty_fraction()))
+    print()
+    from .experiments.ablations import ablate_interval
+    print(format_ablation("Ablation 6 — checkpoint interval",
+                          ablate_interval()))
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from .experiments.report import generate_report
+    print(generate_report())
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .app.workload import WorkloadConfig
+    from .coordination.scheme import Scheme, SystemConfig, build_system
+    from .experiments.timeline import render_timeline
+    from .types import ProcessId, Role
+
+    scheme = Scheme(args.scheme)
+    horizon = 2_000.0
+    system = build_system(SystemConfig(
+        scheme=scheme, seed=args.seed, horizon=horizon,
+        workload1=WorkloadConfig(internal_rate=0.02, external_rate=0.004,
+                                 step_rate=0.01, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.01, external_rate=0.004,
+                                 step_rate=0.01, horizon=horizon)))
+    system.run()
+    pseudo = (ProcessId(Role.ACTIVE_1.value)
+              if scheme.uses_modified_mdcd else None)
+    print(render_timeline(system.trace,
+                          [p.process_id for p in system.process_list()],
+                          since=100.0, until=horizon - 100.0, width=args.width,
+                          pseudo_for=pseudo))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .analysis import check_system_line, common_stable_line, summarize_violations
+    from .app.faults import HardwareFaultPlan, SoftwareFaultPlan
+    from .coordination.scheme import Scheme, SystemConfig, build_system
+
+    horizon = 4_000.0
+    system = build_system(SystemConfig(scheme=Scheme.COORDINATED,
+                                       seed=args.seed, horizon=horizon))
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=horizon / 4.0))
+    system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=horizon / 2.0,
+                                          repair_time=2.0))
+    system.run()
+    print(f"Coordinated system, seed {args.seed}: software fault at "
+          f"{horizon / 4:.0f}s, crash of N2 at {horizon / 2:.0f}s.\n")
+    for rec in system.trace:
+        if rec.category.startswith(("fault.", "at.fail", "recovery.")):
+            who = f" [{rec.process}]" if rec.process else ""
+            print(f"  t={rec.time:9.2f}{who:10s} {rec.category}")
+    violations = summarize_violations(
+        check_system_line(common_stable_line(system)))
+    clean = all(not p.component.state.corrupt
+                for p in system.process_list() if not p.deposed)
+    print(f"\nshadow takeover: {system.sw_recovery.completed}; hardware "
+          f"recoveries: {system.hw_recovery.recoveries}")
+    print(f"final stable line violations: {violations or 'none'}")
+    print(f"in-service states clean: {clean}")
+    return 0 if clean and not violations else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Synergistic Coordination between "
+                    "Software and Hardware Fault Tolerance Techniques' "
+                    "(DSN 2001)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="reproduce Figures 1, 2, 3, 4 and 6"
+                   ).set_defaults(fn=_cmd_scenarios)
+
+    fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (rollback sweep)")
+    fig7.add_argument("--full", action="store_true",
+                      help="publication-sized sweep")
+    fig7.set_defaults(fn=_cmd_fig7)
+
+    sub.add_parser("table1", help="reproduce Table 1 (TB comparison)"
+                   ).set_defaults(fn=_cmd_table1)
+
+    sub.add_parser("overhead", help="performance cost by scheme"
+                   ).set_defaults(fn=_cmd_overhead)
+
+    ablations = sub.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument("--full", action="store_true")
+    ablations.set_defaults(fn=_cmd_ablations)
+
+    sub.add_parser("report", help="regenerate the full reproduction "
+                   "report in one run").set_defaults(fn=_cmd_report)
+
+    timeline = sub.add_parser(
+        "timeline", help="render a Fig. 1/3-style execution timeline")
+    timeline.add_argument("--scheme", default="coordinated",
+                          choices=["mdcd-only", "coordinated", "naive",
+                                   "write-through"])
+    timeline.add_argument("--seed", type=int, default=11)
+    timeline.add_argument("--width", type=int, default=100)
+    timeline.set_defaults(fn=_cmd_timeline)
+
+    demo = sub.add_parser("demo", help="one narrated coordinated run")
+    demo.add_argument("--seed", type=int, default=5)
+    demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Dependability quantification (the paper's stated follow-up work).
+
+Turns the rollback-distance results into the quantity an operator cares
+about: the fraction of computation lost to faults.  Every fault costs
+the repair outage (hardware only) plus the re-execution of the undone
+work (the rollback distance); a software fault additionally costs its
+detection latency (work done after activation is contaminated and
+discarded by the recovery).
+
+    loss_rate = lambda_hw * (t_repair + E[D_hw])
+              + lambda_sw * (E[latency_detect] + E[D_sw])
+
+``goodput = 1 - loss_rate`` is the long-run fraction of time spent on
+work that survives.  The model composes with
+:mod:`repro.analysis.model`'s per-scheme ``E[D_hw]`` predictions, and
+:func:`measure_goodput` extracts the same quantity from a simulated
+system for validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from .model import ModelParams, expected_rollback_coordinated, \
+    expected_rollback_write_through
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultLoad:
+    """Fault intensities and costs.
+
+    Rates are per second of operation; times in seconds.
+    """
+
+    hw_rate: float = 0.0
+    repair_time: float = 0.0
+    sw_rate: float = 0.0
+    sw_detection_latency: float = 0.0
+    sw_rollback: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("hw_rate", "repair_time", "sw_rate",
+                     "sw_detection_latency", "sw_rollback"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+def loss_rate(load: FaultLoad, e_hw_rollback: float) -> float:
+    """Long-run fraction of time lost to fault handling."""
+    hw = load.hw_rate * (load.repair_time + e_hw_rollback)
+    sw = load.sw_rate * (load.sw_detection_latency + load.sw_rollback)
+    return hw + sw
+
+
+def goodput(load: FaultLoad, e_hw_rollback: float) -> float:
+    """Long-run fraction of time producing surviving work (clamped
+    to [0, 1]; a loss rate above 1 means the system cannot keep up)."""
+    return max(0.0, 1.0 - loss_rate(load, e_hw_rollback))
+
+
+def goodput_comparison(params: ModelParams, load: FaultLoad) -> dict:
+    """Model-predicted goodput of the coordinated scheme vs the
+    write-through baseline under the same fault load."""
+    co = goodput(load, expected_rollback_coordinated(params))
+    wt = goodput(load, expected_rollback_write_through(params))
+    return {"coordinated": co, "write-through": wt,
+            "goodput_gain": co - wt}
+
+
+def measure_goodput(system, horizon: float) -> float:
+    """Measured goodput of a completed run: surviving progress over
+    elapsed time, averaged across in-service processes.
+
+    A process's ``progress`` is rewound by every rollback, so
+    ``progress / horizon`` is exactly the surviving-work fraction
+    (crash outages show up as progress that never accrued).
+    """
+    processes = [p for p in system.process_list() if not p.deposed]
+    if not processes or horizon <= 0:
+        return 0.0
+    return sum(p.progress for p in processes) / (horizon * len(processes))

@@ -1,0 +1,124 @@
+"""Global-state capture: turning checkpoint lines into checkable views.
+
+A *line* is one checkpoint per in-service process — the state the system
+would restart from.  :class:`ProcessView` unpickles a checkpoint into
+the underlying :class:`~repro.host.ProcessSnapshot` plus the metadata
+the invariant checkers need (epoch, dirty bit at snapshot time,
+ground-truth corruption).  Lines can be built from stable storage (the
+hardware recovery line), from volatile storage (the MDCD recovery
+anchors), or from the live process states (for end-of-run oracles).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..checkpoint import Checkpoint
+from ..host import FtProcess, ProcessSnapshot
+from ..types import ProcessId
+
+
+@dataclasses.dataclass
+class ProcessView:
+    """One process's state as reflected by one snapshot."""
+
+    process_id: ProcessId
+    snapshot: ProcessSnapshot
+    taken_at: float
+    work_done: float
+    epoch: Optional[int] = None
+    kind: Optional[str] = None
+    meta: Dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def dirty_bit(self) -> int:
+        """The dirty bit *inside* the snapshot (the knowledge the
+        restored process would wake up with)."""
+        return self.snapshot.mdcd.dirty_bit
+
+    @property
+    def truly_corrupt(self) -> bool:
+        """Ground truth: is the snapshotted application state actually
+        contaminated?"""
+        return self.snapshot.app_state.corrupt
+
+
+def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
+    """Unpickle a checkpoint into a view."""
+    return ProcessView(
+        process_id=checkpoint.process_id,
+        snapshot=checkpoint.restore_state(),
+        taken_at=checkpoint.taken_at,
+        work_done=checkpoint.work_done,
+        epoch=checkpoint.epoch,
+        kind=checkpoint.kind.value,
+        meta=dict(checkpoint.meta))
+
+
+def live_view(process: FtProcess) -> ProcessView:
+    """A view of the process's current state (no pickling round-trip;
+    read-only use only)."""
+    return ProcessView(
+        process_id=process.process_id,
+        snapshot=process.make_snapshot(),
+        taken_at=process.sim.now,
+        work_done=process.progress,
+        epoch=process.current_ndc(),
+        kind="live")
+
+
+def stable_line(system, epoch: Optional[int] = None) -> Dict[ProcessId, ProcessView]:
+    """The stable-storage line of a system.
+
+    ``epoch=None`` picks, for each process, its latest completed stable
+    checkpoint; an explicit epoch picks that establishment (falling back
+    to the latest if the epoch is not retained).
+    """
+    line: Dict[ProcessId, ProcessView] = {}
+    for proc in system.process_list():
+        if proc.deposed:
+            continue
+        store = proc.node.stable
+        checkpoint = None
+        if epoch is not None:
+            checkpoint = store.at_epoch(proc.process_id, epoch)
+        if checkpoint is None:
+            checkpoint = store.peek(proc.process_id)
+        if checkpoint is not None:
+            line[proc.process_id] = view_from_checkpoint(checkpoint)
+    return line
+
+
+def common_stable_line(system) -> Dict[ProcessId, ProcessView]:
+    """The line hardware recovery would actually use: the minimum epoch
+    completed by every in-service process."""
+    epochs: List[int] = []
+    for proc in system.process_list():
+        if proc.deposed:
+            continue
+        latest = proc.node.stable.peek(proc.process_id)
+        if latest is not None and latest.epoch is not None:
+            epochs.append(latest.epoch)
+    if not epochs:
+        return {}
+    return stable_line(system, epoch=min(epochs))
+
+
+def volatile_line(system) -> Dict[ProcessId, ProcessView]:
+    """The most recent volatile checkpoints (processes without one are
+    omitted — a clean process may never have checkpointed)."""
+    line: Dict[ProcessId, ProcessView] = {}
+    for proc in system.process_list():
+        if proc.deposed:
+            continue
+        checkpoint = proc.volatile_checkpoint()
+        if checkpoint is not None:
+            line[proc.process_id] = view_from_checkpoint(checkpoint)
+    return line
+
+
+def live_line(system) -> Dict[ProcessId, ProcessView]:
+    """Views of every in-service process's current state."""
+    return {proc.process_id: live_view(proc)
+            for proc in system.process_list() if not proc.deposed}

@@ -1,0 +1,283 @@
+"""Executable versions of the paper's global-state properties.
+
+Section 2.1 defines (validity-concerned) **consistency** and
+**recoverability** over a global state ``S``:
+
+* *Consistency* — a message reflected as received must be reflected as
+  sent, and both ends must agree on its validity.
+* *Recoverability* — a message reflected as sent must be reflected as
+  received with agreeing validity views, **or** the error recovery
+  algorithm must be able to restore it.
+
+The checkers run over a line of :class:`~repro.analysis.global_state.ProcessView`
+objects.  "Reflected" is literal: a message is in a view iff it is in
+the snapshot's sent/received journal.  Restorability recognises the two
+mechanisms the protocols actually have:
+
+* the TB protocols re-send every message in the sender's snapshotted
+  unacknowledged set;
+* a sender whose snapshot *precedes* the send re-executes and
+  regenerates the message (so such messages are simply absent from the
+  global state and need no restoring).
+
+A third, ground-truth check audits the protocol's conservatism: a
+snapshot whose dirty bit is 0 must not be actually contaminated
+(guaranteed when the acceptance test has perfect coverage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import InvariantViolation
+from ..journal import JournalRecord
+from ..messages.message import DEVICE
+from ..types import MessageKind, ProcessId
+from .global_state import ProcessView
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in a line."""
+
+    kind: str
+    detail: str
+    message_key: Optional[int] = None
+    process: Optional[ProcessId] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+#: Violation kinds emitted by the checkers.
+ORPHAN_MESSAGE = "orphan-message"
+VALIDITY_MISMATCH = "validity-mismatch"
+UNRESTORABLE_MESSAGE = "unrestorable-message"
+UNDETECTED_CONTAMINATION = "undetected-contamination"
+
+#: Safety margin when comparing a record's timestamp against the other
+#: end's pruning horizon.  The two ends stamp the *same* message at
+#: different instants (receive time lags send time by the delivery delay
+#: plus, for a buffered delivery, a whole blocking period), and prune at
+#: different instants, so the horizon comparison needs slack.  Must
+#: exceed ``t_max`` + the longest blocking period and stay far below the
+#: journal retention window; 5 s is comfortable for every configuration
+#: in this repository.
+PRUNE_SLACK = 5.0
+
+
+def check_consistency(line: Dict[ProcessId, ProcessView],
+                      exempt_receivers: Iterable[ProcessId] = (),
+                      include_validity_views: bool = True) -> List[Violation]:
+    """Consistency: no received-but-never-sent (orphan) messages, and
+    agreeing validity views on messages present at both ends.
+
+    ``exempt_receivers`` — see :func:`check_recoverability`: views held
+    by the always-suspect ``P1_act`` about its *own inbound* traffic are
+    not recovery-relevant (its state is never a recovery basis), so
+    callers modelling the paper's system pass ``{P1_act}``.
+
+    ``include_validity_views=False`` skips the view-agreement check —
+    appropriate for *live* states, where a validation notification still
+    in flight makes the two ends' views legitimately, transiently
+    different (the paper's property is about recovery lines).
+    """
+    exempt = set(exempt_receivers)
+    violations: List[Violation] = []
+    for pid, view in line.items():
+        for rec in view.snapshot.journal_recv.records():
+            sender_view = line.get(rec.sender)
+            if sender_view is None:
+                continue  # sender outside the line (e.g. deposed)
+            if pid in exempt:
+                continue
+            sent_rec = sender_view.snapshot.journal_sent.get(rec.key)
+            if sent_rec is None:
+                if getattr(rec, "dsn", None) is not None:
+                    # Replay-protected (generalized protocol): the
+                    # sender's snapshot precedes the send, and its
+                    # piecewise-deterministic re-execution regenerates
+                    # the identical (sender, receiver, dsn) message,
+                    # which this receiver deduplicates — the "sent"
+                    # side re-materializes during recovery.
+                    continue
+                sender_horizon = sender_view.snapshot.journal_sent.pruned_before
+                if (rec.validated and sender_horizon > 0.0
+                        and rec.time - PRUNE_SLACK < sender_horizon):
+                    # The sender garbage-collected this old validated
+                    # record; both ends agreed on validity when it was
+                    # pruned (only validated records are pruned).
+                    continue
+                violations.append(Violation(
+                    kind=ORPHAN_MESSAGE, message_key=rec.key, process=pid,
+                    detail=(f"{pid} reflects message {rec.key} from {rec.sender} "
+                            f"as received, but {rec.sender}'s state does not "
+                            f"reflect sending it")))
+                continue
+            if include_validity_views and sent_rec.validated != rec.validated:
+                violations.append(Violation(
+                    kind=VALIDITY_MISMATCH, message_key=rec.key, process=pid,
+                    detail=(f"message {rec.key} {rec.sender}->{pid}: sender view "
+                            f"validated={sent_rec.validated}, receiver view "
+                            f"validated={rec.validated}")))
+    return violations
+
+
+def check_recoverability(line: Dict[ProcessId, ProcessView],
+                         exempt_receivers: Iterable[ProcessId] = (),
+                         guarded_active: Optional[ProcessId] = None,
+                         shadow_vr: Optional[int] = None,
+                         in_flight_keys: Iterable[int] = ()) -> List[Violation]:
+    """Recoverability: every sent-but-not-received message must be
+    restorable by the recovery machinery.
+
+    Restoration mechanisms recognised:
+
+    * the sender's snapshotted unacknowledged set (TB re-send);
+    * for ``guarded_active``'s messages: the shadow's suppressed-message
+      log and lock-step re-execution — the shadow re-sends (or
+      regenerates) every component-1 message with sequence number beyond
+      the valid message register, so a lost ``P1_act`` message with
+      ``sn > shadow_vr`` is restorable by takeover (this is exactly the
+      "or the error recovery algorithm must be able to restore m" arm of
+      the paper's definition);
+    * senders whose snapshot *precedes* the send re-execute and
+      regenerate the message (such messages are simply absent from the
+      global state — nothing to check).
+
+    ``exempt_receivers`` lists processes whose *incoming* message loss
+    is tolerated by construction — the always-suspect ``P1_act``: its
+    state is never a recovery basis for software errors, and any
+    divergence it accumulates is covered by the shadow (see DESIGN.md,
+    "known corner cases").  Callers that want the strict property pass
+    nothing.
+    """
+    exempt = set(exempt_receivers)
+    wire = set(in_flight_keys)
+    violations: List[Violation] = []
+    for pid, view in line.items():
+        unacked_keys = {m.dedup_key for m in view.snapshot.unacked}
+        for rec in view.snapshot.journal_sent.records():
+            if rec.receiver == DEVICE:
+                continue  # external messages leave the system
+            receiver_view = line.get(rec.receiver)
+            if receiver_view is None:
+                continue  # receiver outside the line
+            if rec.key in receiver_view.snapshot.journal_recv:
+                continue  # reflected on both ends; consistency covers views
+            receiver_horizon = receiver_view.snapshot.journal_recv.pruned_before
+            if receiver_horizon > 0.0 and rec.time - PRUNE_SLACK < receiver_horizon:
+                continue  # receiver may have garbage-collected the record
+            if rec.key in unacked_keys:
+                continue  # restorable: saved with the checkpoint, re-sent
+            if rec.key in wire:
+                continue  # literally in transit (live-state checks only)
+            if rec.receiver in exempt:
+                continue
+            if (guarded_active is not None and pid == guarded_active
+                    and (rec.sn is None or shadow_vr is None
+                         or rec.sn > shadow_vr)):
+                continue  # restorable by the shadow's log / re-execution
+            violations.append(Violation(
+                kind=UNRESTORABLE_MESSAGE, message_key=rec.key, process=pid,
+                detail=(f"message {rec.key} {pid}->{rec.receiver} is reflected "
+                        f"as sent (and acknowledged) but not as received, and "
+                        f"is not in the sender's saved unacknowledged set")))
+    return violations
+
+
+def check_ground_truth(line: Dict[ProcessId, ProcessView]) -> List[Violation]:
+    """Conservatism audit: a snapshot believed clean (dirty bit 0) must
+    not be actually contaminated.  Holds whenever acceptance-test
+    coverage is 1.0; coverage ablations expect violations here."""
+    violations: List[Violation] = []
+    for pid, view in line.items():
+        if view.dirty_bit == 0 and view.truly_corrupt:
+            violations.append(Violation(
+                kind=UNDETECTED_CONTAMINATION, process=pid,
+                detail=(f"{pid}'s snapshot claims a clean state (dirty bit 0) "
+                        f"but the application state is contaminated")))
+    return violations
+
+
+def check_line(line: Dict[ProcessId, ProcessView],
+               exempt_receivers: Iterable[ProcessId] = (),
+               guarded_active: Optional[ProcessId] = None,
+               shadow_vr: Optional[int] = None,
+               include_ground_truth: bool = True) -> List[Violation]:
+    """Run all checks over a line."""
+    violations = check_consistency(line, exempt_receivers=exempt_receivers)
+    violations += check_recoverability(line, exempt_receivers=exempt_receivers,
+                                       guarded_active=guarded_active,
+                                       shadow_vr=shadow_vr)
+    if include_ground_truth:
+        violations += check_ground_truth(line)
+    return violations
+
+
+def check_system_line(line: Dict[ProcessId, ProcessView],
+                      include_ground_truth: bool = True) -> List[Violation]:
+    """:func:`check_line` specialised to the paper's three-process
+    system: the always-suspect ``P1_act`` is the exempt receiver and the
+    shadow-log restorability arm is wired to the shadow's valid message
+    register as captured in the line itself."""
+    from ..types import Role
+    active = ProcessId(Role.ACTIVE_1.value)
+    shadow = line.get(ProcessId(Role.SHADOW_1.value))
+    shadow_vr = shadow.snapshot.mdcd.vr if shadow is not None else None
+    return check_line(line, exempt_receivers=[active], guarded_active=active,
+                      shadow_vr=shadow_vr,
+                      include_ground_truth=include_ground_truth)
+
+
+def check_live_system(system, include_ground_truth: bool = True) -> List[Violation]:
+    """Audit a system's *live* states (not a checkpoint line).
+
+    The live global state differs from a checkpoint line in exactly one
+    way: a sent-but-not-received message may be legitimately on the wire
+    or held in a blocking buffer / deferred-ack stash.  This helper
+    captures the live views, exempts those in-flight messages, and runs
+    the standard checks — so live consistency can be asserted at any
+    instant of a healthy run.
+    """
+    from ..types import Role
+    from .global_state import live_line
+    line = live_line(system)
+    wire = {m.dedup_key for m in system.network.in_flight()}
+    for proc in system.process_list():
+        wire.update(m.dedup_key for m in proc._buffer)
+    active = ProcessId(Role.ACTIVE_1.value)
+    shadow = line.get(ProcessId(Role.SHADOW_1.value))
+    shadow_vr = shadow.snapshot.mdcd.vr if shadow is not None else None
+    violations = check_consistency(line, exempt_receivers=[active],
+                                   include_validity_views=False)
+    violations += check_recoverability(
+        line, exempt_receivers=[active], guarded_active=active,
+        shadow_vr=shadow_vr, in_flight_keys=wire)
+    if include_ground_truth:
+        violations += check_ground_truth(line)
+    return violations
+
+
+def assert_line_ok(line: Dict[ProcessId, ProcessView],
+                   exempt_receivers: Iterable[ProcessId] = (),
+                   include_ground_truth: bool = True,
+                   label: str = "") -> None:
+    """Strict mode: raise :class:`~repro.errors.InvariantViolation` if
+    any check fails."""
+    violations = check_line(line, exempt_receivers=exempt_receivers,
+                            include_ground_truth=include_ground_truth)
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        raise InvariantViolation(
+            f"{len(violations)} violation(s) in line {label or '<unnamed>'}: {summary}",
+            violations=violations)
+
+
+def summarize_violations(violations: List[Violation]) -> Dict[str, int]:
+    """Count violations by kind (for reports)."""
+    counts: Dict[str, int] = {}
+    for v in violations:
+        counts[v.kind] = counts.get(v.kind, 0) + 1
+    return counts

@@ -1,0 +1,51 @@
+"""Rollback-distance instrumentation (the Figure 7 metric).
+
+Rollback distance is "the amount of computation quantified in time
+units (seconds) that a process must undo due to a hardware fault".
+Every :meth:`repro.host.FtProcess.restore_from` records a
+``recovery.rollback.<reason>`` trace entry with the distance; the
+hardware recovery coordinator additionally keeps structured
+:class:`~repro.tb.hardware_recovery.RollbackRecord` rows.  This module
+aggregates either source into the statistics the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.monitor import RunningStat
+from ..sim.trace import TraceRecorder
+from ..types import ProcessId
+
+
+def hardware_rollback_distances(trace: TraceRecorder,
+                                process: Optional[ProcessId] = None) -> List[float]:
+    """Distances of every hardware rollback in a trace."""
+    return [rec.data["distance"]
+            for rec in trace.records("recovery.rollback.hardware", process)]
+
+
+def software_rollback_distances(trace: TraceRecorder,
+                                process: Optional[ProcessId] = None) -> List[float]:
+    """Distances of every software (MDCD) rollback in a trace."""
+    return [rec.data["distance"]
+            for rec in trace.records("recovery.rollback.software", process)]
+
+
+def rollback_stat(system, reason: str = "hardware",
+                  process: Optional[ProcessId] = None) -> RunningStat:
+    """A :class:`~repro.sim.monitor.RunningStat` over a system's
+    recorded rollback distances."""
+    stat = RunningStat()
+    for rec in system.trace.records(f"recovery.rollback.{reason}", process):
+        stat.add(rec.data["distance"])
+    return stat
+
+
+def per_process_rollback_stats(system, reason: str = "hardware"
+                               ) -> Dict[ProcessId, RunningStat]:
+    """Per-process rollback statistics."""
+    stats: Dict[ProcessId, RunningStat] = {}
+    for rec in system.trace.records(f"recovery.rollback.{reason}"):
+        stats.setdefault(rec.process, RunningStat()).add(rec.data["distance"])
+    return stats

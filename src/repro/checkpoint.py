@@ -1,0 +1,83 @@
+"""Checkpoint records.
+
+A :class:`Checkpoint` freezes a process state via :mod:`pickle` so that
+restoring it cannot alias live objects — exactly the isolation property
+real volatile/stable checkpoints have.  The same record type is used for
+the MDCD protocol's volatile checkpoints (Type-1 / Type-2 / pseudo) and
+the TB protocols' stable checkpoints; the ``kind``, ``epoch`` and
+``content`` fields say which flavour a given record is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Any, Dict, Optional
+
+from .types import CheckpointKind, ProcessId, StableContent
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """An immutable snapshot of one process's checkpointable state.
+
+    Attributes
+    ----------
+    process_id:
+        Owner of the snapshot.
+    kind:
+        Volatile Type-1/Type-2/pseudo or stable (see
+        :class:`~repro.types.CheckpointKind`).
+    taken_at:
+        True time at which the snapshot was taken.
+    work_done:
+        The process's accumulated computation (in work-seconds) at the
+        moment of the snapshot — the quantity rollback distance is
+        measured in (paper Fig. 7).
+    state_bytes:
+        The pickled process state.
+    epoch:
+        For stable checkpoints, the TB epoch number ``Ndc`` this
+        establishment belongs to; ``None`` for volatile checkpoints.
+    content:
+        For stable checkpoints written by the adapted TB protocol, which
+        contents ended up on disk (current state / volatile copy /
+        swapped); ``None`` otherwise.
+    meta:
+        Free-form annotations (dirty bit at snapshot time, trigger
+        message sn, ...), used by traces and the analysis package.
+    """
+
+    process_id: ProcessId
+    kind: CheckpointKind
+    taken_at: float
+    work_done: float
+    state_bytes: bytes
+    epoch: Optional[int] = None
+    content: Optional[StableContent] = None
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, process_id: ProcessId, kind: CheckpointKind, state: Any,
+                taken_at: float, work_done: float, epoch: Optional[int] = None,
+                content: Optional[StableContent] = None,
+                meta: Optional[Dict[str, Any]] = None) -> "Checkpoint":
+        """Pickle ``state`` and wrap it in a checkpoint record."""
+        return cls(process_id=process_id, kind=kind, taken_at=taken_at,
+                   work_done=work_done,
+                   state_bytes=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+                   epoch=epoch, content=content, meta=dict(meta or {}))
+
+    def restore_state(self) -> Any:
+        """Unpickle a *fresh copy* of the snapshotted state."""
+        return pickle.loads(self.state_bytes)
+
+    def rewritten(self, **changes: Any) -> "Checkpoint":
+        """A copy with some fields replaced (used when the adapted TB
+        protocol swaps checkpoint contents mid-blocking)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the pickled state — a proxy for checkpoint cost."""
+        return len(self.state_bytes)

@@ -1,0 +1,35 @@
+"""The naive combination (paper Section 4.1).
+
+"Directly combining [the TB protocol] with the MDCD protocol would not
+extend a system's fault tolerance capability, but rather may have a
+detrimental effect on system reliability."  The naive system runs the
+*original* MDCD and the *original* TB side by side with no coordination:
+
+* the TB engine saves the **current** state at every timer expiry,
+  regardless of the dirty bit — so a potentially contaminated ``P2``
+  gets a contaminated stable checkpoint while the clean shadow gets a
+  clean one (Fig. 4(a)): after a hardware fault, ``P2`` "would have no
+  choice but to roll back to a potentially contaminated state and become
+  unable to restore a non-contaminated state if a software error is
+  detected subsequently";
+* "passed AT" notifications are blocked like any other message and
+  carry no ``Ndc``, so validations can silently straddle checkpoint
+  lines.
+
+This module only provides the convenience constructor; the wiring lives
+in :func:`repro.coordination.scheme.build_system` with
+``scheme=Scheme.NAIVE``.  The executable demonstration of the Fig. 4
+failures is :mod:`repro.experiments.scenarios`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .scheme import Scheme, System, SystemConfig, build_system
+
+
+def build_naive_system(config: Optional[SystemConfig] = None, **overrides) -> System:
+    """A system running the uncoordinated MDCD + TB combination."""
+    overrides["scheme"] = Scheme.NAIVE
+    return build_system(config, **overrides)

@@ -1,0 +1,302 @@
+"""System builder: complete three-process systems under each protocol
+scheme the paper discusses.
+
+A :class:`System` instantiates the paper's architecture — three nodes
+hosting ``P1_act`` (low-confidence version), ``P1_sdw`` (high-confidence
+version of the same component, same workload stream) and ``P2`` (the
+second component) — and wires the protocol engines according to a
+:class:`Scheme`:
+
+* ``MDCD_ONLY`` — original MDCD, volatile checkpoints only (no hardware
+  fault tolerance): the Fig. 1 setting.
+* ``WRITE_THROUGH`` — original MDCD whose Type-2 checkpoints are also
+  written through to stable storage (Section 3's strawman; Fig. 7's
+  ``E[D_wt]``).
+* ``NAIVE`` — original MDCD + unmodified original TB running side by
+  side with no coordination (Section 4.1; Fig. 4's interference).
+* ``COORDINATED`` — modified MDCD + adapted TB: the paper's
+  contribution (Fig. 7's ``E[D_co]``).
+* ``COORDINATED_NO_SWAP`` — coordination with the mid-blocking content
+  swap disabled (ablation; reproduces the Fig. 4(b) recoverability
+  violation inside the otherwise-coordinated scheme).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from ..app.acceptance import AcceptanceTest, AcceptanceTestConfig
+from ..app.component import ApplicationComponent
+from ..app.faults import (
+    HardwareFaultInjector,
+    HardwareFaultPlan,
+    SoftwareFaultInjector,
+    SoftwareFaultPlan,
+)
+from ..app.versions import HighConfidenceVersion, LowConfidenceVersion
+from ..app.workload import WorkloadConfig, WorkloadDriver, generate_actions
+from ..host import FtProcess, IncarnationCounter
+from ..mdcd.modified import (
+    ModifiedActiveEngine,
+    ModifiedPeerEngine,
+    ModifiedShadowEngine,
+)
+from ..mdcd.original import (
+    OriginalActiveEngine,
+    OriginalPeerEngine,
+    OriginalShadowEngine,
+)
+from ..mdcd.recovery import SoftwareRecoveryManager
+from ..sim.clock import ClockConfig
+from ..sim.kernel import Simulator
+from ..sim.network import Network, NetworkConfig
+from ..sim.node import Node
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceRecorder
+from ..tb.adapted import AdaptedTbEngine
+from ..tb.blocking import TbConfig
+from ..tb.hardware_recovery import HardwareRecoveryCoordinator
+from ..tb.original import OriginalTbEngine
+from ..tb.resync import ResyncService
+from ..types import NodeId, ProcessId, Role
+from .write_through import WriteThroughEngine
+
+
+class Scheme(enum.Enum):
+    """Which protocol combination a system runs."""
+
+    MDCD_ONLY = "mdcd-only"
+    WRITE_THROUGH = "write-through"
+    NAIVE = "naive"
+    COORDINATED = "coordinated"
+    COORDINATED_NO_SWAP = "coordinated-no-swap"
+
+    @property
+    def has_stable_checkpoints(self) -> bool:
+        """Whether the scheme tolerates hardware faults at all."""
+        return self is not Scheme.MDCD_ONLY
+
+    @property
+    def uses_modified_mdcd(self) -> bool:
+        """Whether the scheme runs the Appendix A (modified) algorithms."""
+        return self in (Scheme.COORDINATED, Scheme.COORDINATED_NO_SWAP)
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a reproducible system."""
+
+    scheme: Scheme = Scheme.COORDINATED
+    seed: int = 0
+    horizon: float = 10_000.0
+    clock: ClockConfig = dataclasses.field(default_factory=ClockConfig)
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    tb: TbConfig = dataclasses.field(default_factory=TbConfig)
+    workload1: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
+    workload2: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
+    at: AcceptanceTestConfig = dataclasses.field(default_factory=AcceptanceTestConfig)
+    trace_enabled: bool = True
+    #: Retention window for validated journal records; the effective
+    #: value is never below four TB intervals so pruning cannot touch
+    #: records near a live checkpoint line.
+    journal_retention: float = 600.0
+    #: How many stable-checkpoint epochs each node retains (>= 2 so the
+    #: recovery line survives a laggard establishment; scenario analyses
+    #: raise it to audit every historical line).
+    stable_history: int = 2
+
+    def with_scheme(self, scheme: Scheme) -> "SystemConfig":
+        """Same configuration, different scheme — the paired-comparison
+        helper Figure 7 uses (identical seeds and workloads)."""
+        return dataclasses.replace(self, scheme=scheme)
+
+
+class System:
+    """A built, runnable three-process system."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        self.trace = TraceRecorder(enabled=config.trace_enabled)
+        self.network = Network(self.sim, config.network, self.rng)
+        self.incarnation = IncarnationCounter()
+
+        self.nodes: Dict[str, Node] = {
+            name: Node(NodeId(name), self.sim, config.clock, self.rng,
+                       stable_history=config.stable_history)
+            for name in ("N1a", "N1b", "N2")
+        }
+
+        actions1 = generate_actions(
+            dataclasses.replace(config.workload1, horizon=config.horizon),
+            self.rng, "component1")
+        actions2 = generate_actions(
+            dataclasses.replace(config.workload2, horizon=config.horizon),
+            self.rng, "component2")
+
+        self.low_version = LowConfidenceVersion("component1-low")
+        self.processes: Dict[Role, FtProcess] = {}
+        self._build_process(Role.ACTIVE_1, self.nodes["N1a"],
+                            ApplicationComponent("component1", self.low_version),
+                            WorkloadDriver(self.sim, actions1, "P1act"))
+        self._build_process(Role.SHADOW_1, self.nodes["N1b"],
+                            ApplicationComponent(
+                                "component1", HighConfidenceVersion("component1-high")),
+                            WorkloadDriver(self.sim, actions1, "P1sdw"))
+        self._build_process(Role.PEER_2, self.nodes["N2"],
+                            ApplicationComponent(
+                                "component2", HighConfidenceVersion("component2")),
+                            WorkloadDriver(self.sim, actions2, "P2"))
+
+        self.resync: Optional[ResyncService] = None
+        self.hw_recovery: Optional[HardwareRecoveryCoordinator] = None
+        self._wire_engines()
+
+        self.sw_recovery = SoftwareRecoveryManager(
+            active=self.active, shadow=self.shadow, peer=self.peer,
+            incarnation=self.incarnation, trace=self.trace)
+        self.sw_recovery.install()
+        self.injectors: List = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_process(self, role: Role, node: Node,
+                       component: ApplicationComponent,
+                       driver: WorkloadDriver) -> None:
+        process = FtProcess(
+            process_id=ProcessId(role.value), node=node, network=self.network,
+            component=component, driver=driver, incarnation=self.incarnation,
+            role=role, trace=self.trace)
+        process.journal_retention = max(self.config.journal_retention,
+                                        4.0 * self.config.tb.interval)
+        self.processes[role] = process
+
+    def _wire_engines(self) -> None:
+        config = self.config
+        active, shadow, peer = self.active, self.shadow, self.peer
+        at_active = AcceptanceTest(config.at, self.rng, "P1act")
+        at_peer = AcceptanceTest(config.at, self.rng, "P2")
+
+        if config.scheme.uses_modified_mdcd:
+            sw_active = ModifiedActiveEngine(active, at_active,
+                                             peer=peer.process_id,
+                                             shadow=shadow.process_id)
+            sw_shadow = ModifiedShadowEngine(shadow)
+            sw_peer = ModifiedPeerEngine(peer, at_peer)
+        else:
+            sw_active = OriginalActiveEngine(active, at_active,
+                                             peer=peer.process_id,
+                                             shadow=shadow.process_id)
+            sw_shadow = OriginalShadowEngine(shadow)
+            sw_peer = OriginalPeerEngine(peer, at_peer)
+
+        hw_engines: Dict[Role, object] = {}
+        if config.scheme in (Scheme.COORDINATED, Scheme.COORDINATED_NO_SWAP,
+                             Scheme.NAIVE):
+            self.resync = ResyncService(
+                self.sim, [n.clock for n in self.nodes.values()], self.trace)
+            tb_config = config.tb
+            if config.scheme is Scheme.COORDINATED_NO_SWAP:
+                tb_config = dataclasses.replace(tb_config,
+                                                swap_on_confidence_change=False)
+            engine_cls = (OriginalTbEngine if config.scheme is Scheme.NAIVE
+                          else AdaptedTbEngine)
+            for role, proc in self.processes.items():
+                hw_engines[role] = engine_cls(proc, tb_config, config.clock,
+                                              config.network, resync=self.resync)
+        elif config.scheme is Scheme.WRITE_THROUGH:
+            for role, proc in self.processes.items():
+                hw_engines[role] = WriteThroughEngine(proc)
+
+        active.attach_engines(software=sw_active, hardware=hw_engines.get(Role.ACTIVE_1))
+        shadow.attach_engines(software=sw_shadow, hardware=hw_engines.get(Role.SHADOW_1))
+        peer.attach_engines(software=sw_peer, hardware=hw_engines.get(Role.PEER_2))
+
+        if config.scheme.has_stable_checkpoints:
+            self.hw_recovery = HardwareRecoveryCoordinator(
+                list(self.processes.values()), self.incarnation, self.trace)
+            self.hw_recovery.install()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> FtProcess:
+        """``P1_act``."""
+        return self.processes[Role.ACTIVE_1]
+
+    @property
+    def shadow(self) -> FtProcess:
+        """``P1_sdw``."""
+        return self.processes[Role.SHADOW_1]
+
+    @property
+    def peer(self) -> FtProcess:
+        """``P2``."""
+        return self.processes[Role.PEER_2]
+
+    def process_list(self) -> List[FtProcess]:
+        """All processes, in role order."""
+        return [self.active, self.shadow, self.peer]
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_software_fault(self, plan: SoftwareFaultPlan) -> SoftwareFaultInjector:
+        """Arm a software design fault in the low-confidence version."""
+        injector = SoftwareFaultInjector(self.sim, self.low_version, plan, self.trace)
+        injector.arm()
+        self.injectors.append(injector)
+        return injector
+
+    def inject_crash(self, plan: HardwareFaultPlan) -> HardwareFaultInjector:
+        """Arm a node crash (and restart)."""
+        injector = HardwareFaultInjector(self.sim, self.nodes[plan.node_id],
+                                         plan, self.trace)
+        injector.arm()
+        self.injectors.append(injector)
+        return injector
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every process (genesis checkpoints, first timers,
+        workload streams).  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for proc in self.process_list():
+            proc.start()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Start (if needed) and run until ``until`` (default: the
+        configured horizon)."""
+        self.start()
+        self.sim.run(until=until if until is not None else self.config.horizon)
+
+    def commission_upgrade(self) -> None:
+        """Declare the guarded upgrade successful: retire the shadow,
+        trust the upgraded version, and let the coordination disengage
+        seamlessly (paper Section 4.2, last paragraph).  See
+        :func:`repro.mdcd.commissioning.commission_upgrade`."""
+        from ..mdcd.commissioning import commission_upgrade
+        commission_upgrade(self)
+
+
+def build_system(config: Optional[SystemConfig] = None, **overrides) -> System:
+    """Build a system from ``config`` (default :class:`SystemConfig`),
+    applying keyword overrides to the config first.
+
+    >>> system = build_system(seed=7, scheme=Scheme.COORDINATED)
+    >>> system.run(until=100.0)
+    """
+    base = config if config is not None else SystemConfig()
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return System(base)

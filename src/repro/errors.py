@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies separate simulation
+substrate problems (scheduling, clocks, storage) from protocol-level
+problems (configuration, invariant violations detected at runtime).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event substrate."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class ClockError(SimulationError):
+    """A local-clock conversion was requested outside its valid range."""
+
+
+class StorageError(SimulationError):
+    """A checkpoint store was used incorrectly (e.g. read of a missing
+    snapshot, or access to volatile storage on a crashed node)."""
+
+
+class NetworkError(SimulationError):
+    """A message was sent to an unknown endpoint or over a closed channel."""
+
+
+class NodeCrashedError(SimulationError):
+    """An operation touched a node that is currently crashed."""
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol-level errors."""
+
+
+class ConfigurationError(ProtocolError):
+    """A protocol or experiment was configured with invalid parameters."""
+
+
+class RecoveryError(ProtocolError):
+    """Error recovery could not complete (e.g. no stable checkpoint)."""
+
+
+class AcceptanceTestFailure(ProtocolError):
+    """Raised internally when an acceptance test rejects an external
+    message and no recovery handler is installed."""
+
+
+class InvariantViolation(ProtocolError):
+    """A global-state invariant (consistency / recoverability) was found
+    to be violated by an invariant checker.
+
+    The analysis checkers normally *report* violations as data rather
+    than raising; this exception is used by the ``strict`` checking mode
+    and by tests that assert a violation is impossible.
+    """
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        #: The list of :class:`repro.analysis.invariants.Violation`
+        #: records that triggered the exception (possibly empty).
+        self.violations = list(violations or [])

@@ -1,0 +1,140 @@
+"""Performance-cost comparison of the schemes (the paper's stated
+follow-up work: "quantifying its benefits with respect to both
+dependability enhancement and performance cost reduction").
+
+The paper argues twice that cost stays low — MDCD keeps checkpoints in
+RAM and validates only external messages; the coordination "preserves
+and enhances the features and advantages of the individual protocols
+... keeping the performance cost low".  This harness measures, per
+scheme on an identical fault-free workload:
+
+* **blocking** — fraction of process-time spent inside blocking windows
+  and the number of sends deferred by them;
+* **storage** — checkpoints and bytes written to volatile and stable
+  storage per simulated hour;
+* **messaging** — protocol messages ("passed AT" notifications) per
+  application message, and acceptance tests run;
+* a derived **slowdown proxy**: blocked time plus (weighted) storage
+  traffic per unit time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..app.workload import WorkloadConfig
+from ..coordination.scheme import Scheme, SystemConfig, build_system
+from ..tb.blocking import TbConfig
+from .reporting import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadConfig:
+    """Workload for the comparison (identical across schemes)."""
+
+    seed: int = 33
+    horizon: float = 8_000.0
+    tb_interval: float = 30.0
+    internal_rate: float = 0.1
+    external_rate: float = 0.02
+    schemes: tuple = (Scheme.MDCD_ONLY, Scheme.WRITE_THROUGH,
+                      Scheme.NAIVE, Scheme.COORDINATED)
+
+
+@dataclasses.dataclass
+class OverheadObservation:
+    """Measured cost profile of one scheme."""
+
+    scheme: str
+    blocked_time_fraction: float
+    deferred_sends: int
+    buffered_deliveries: int
+    volatile_saves_per_hour: float
+    volatile_kb_per_hour: float
+    stable_saves_per_hour: float
+    stable_kb_per_hour: float
+    notifications_per_app_message: float
+    at_runs: int
+
+    def as_row(self) -> List:
+        """The observation as a report-table row."""
+        return [
+            self.scheme,
+            f"{self.blocked_time_fraction * 100:.3f}%",
+            self.deferred_sends,
+            self.buffered_deliveries,
+            f"{self.volatile_saves_per_hour:.1f}",
+            f"{self.volatile_kb_per_hour:.1f}",
+            f"{self.stable_saves_per_hour:.1f}",
+            f"{self.stable_kb_per_hour:.1f}",
+            f"{self.notifications_per_app_message:.3f}",
+            self.at_runs,
+        ]
+
+
+def measure_scheme(config: OverheadConfig, scheme: Scheme) -> OverheadObservation:
+    """Run one scheme and extract its cost profile."""
+    horizon = config.horizon
+    system = build_system(SystemConfig(
+        scheme=scheme, seed=config.seed, horizon=horizon,
+        tb=TbConfig(interval=config.tb_interval),
+        workload1=WorkloadConfig(internal_rate=config.internal_rate,
+                                 external_rate=config.external_rate,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=config.internal_rate / 2.0,
+                                 external_rate=config.external_rate,
+                                 step_rate=0.02, horizon=horizon)))
+    system.run()
+
+    blocked_time = sum(rec.data["length"]
+                       for rec in system.trace.records("blocking.start"))
+    process_time = horizon * len(system.process_list())
+    deferred = sum(p.counters.get("blocked.deferred_send")
+                   for p in system.process_list())
+    buffered = sum(sum(v for k, v in p.counters.as_dict().items()
+                       if k.startswith("blocked.buffered."))
+                   for p in system.process_list())
+    volatile_saves = sum(p.node.volatile.saves for p in system.process_list())
+    volatile_bytes = sum(p.node.volatile.bytes_written
+                         for p in system.process_list())
+    stable_saves = sum(p.node.stable.saves for p in system.process_list())
+    stable_bytes = sum(p.node.stable.bytes_written
+                       for p in system.process_list())
+    app_messages = sum(p.counters.get("sent.internal")
+                       + p.counters.get("sent.external")
+                       for p in system.process_list())
+    notifications = sum(p.counters.get("sent.passed_at")
+                        for p in system.process_list())
+    at_runs = sum(p.counters.get("at.pass") + p.counters.get("at.fail")
+                  for p in system.process_list())
+    hours = horizon / 3600.0
+    return OverheadObservation(
+        scheme=scheme.value,
+        blocked_time_fraction=blocked_time / process_time,
+        deferred_sends=deferred,
+        buffered_deliveries=buffered,
+        volatile_saves_per_hour=volatile_saves / hours,
+        volatile_kb_per_hour=volatile_bytes / 1024.0 / hours,
+        stable_saves_per_hour=stable_saves / hours,
+        stable_kb_per_hour=stable_bytes / 1024.0 / hours,
+        notifications_per_app_message=(notifications / app_messages
+                                       if app_messages else 0.0),
+        at_runs=at_runs)
+
+
+def run_overhead(config: OverheadConfig = OverheadConfig()
+                 ) -> Dict[str, OverheadObservation]:
+    """Measure every scheme on the identical workload."""
+    return {scheme.value: measure_scheme(config, scheme)
+            for scheme in config.schemes}
+
+
+def format_overhead(observations: Dict[str, OverheadObservation]) -> str:
+    """Render the comparison table."""
+    return format_table(
+        ["scheme", "blocked time", "deferred sends", "buffered recv",
+         "vol saves/h", "vol KiB/h", "stable saves/h", "stable KiB/h",
+         "notif/app-msg", "AT runs"],
+        [obs.as_row() for obs in observations.values()],
+        title="Performance cost by scheme (identical fault-free workload)")

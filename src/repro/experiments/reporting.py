@@ -1,0 +1,62 @@
+"""Plain-text table and series formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and greppable
+(no external plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_cell(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """An aligned ASCII table."""
+    str_rows: List[List[str]] = [[format_cell(c, precision) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Iterable, precision: int = 3) -> str:
+    """A labelled key/value block."""
+    lines = [title]
+    items = list(pairs)
+    width = max((len(str(k)) for k, _ in items), default=0)
+    for key, value in items:
+        lines.append(f"  {str(key).ljust(width)} : {format_cell(value, precision)}")
+    return "\n".join(lines)
+
+
+def log_series_bar(value: float, lo: float = 1.0, hi: float = 10_000.0,
+                   width: int = 40) -> str:
+    """A crude log-scale bar, for eyeballing Figure 7 shapes in text."""
+    import math
+    if value <= 0:
+        return ""
+    frac = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    frac = min(1.0, max(0.0, frac))
+    return "#" * max(1, int(round(frac * width)))

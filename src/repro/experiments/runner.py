@@ -1,0 +1,60 @@
+"""Replication management for experiment campaigns.
+
+Each replication runs one seeded system and extracts a list of metric
+samples; the runner merges replications into a
+:class:`~repro.sim.monitor.RunningStat` and derives child seeds so that
+replication ``k`` of one configuration is paired with replication ``k``
+of another (variance reduction for paired comparisons such as
+E[D_co] vs E[D_wt]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Sequence
+
+from ..sim.monitor import RunningStat
+from ..sim.rng import derive_seed
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated outcome of a replicated campaign."""
+
+    label: str
+    stat: RunningStat
+    samples: List[float]
+    replications: int
+
+    @property
+    def mean(self) -> float:
+        """Mean over all samples."""
+        return self.stat.mean
+
+    @property
+    def ci95(self) -> float:
+        """95% confidence half-width of the mean."""
+        return self.stat.confidence_halfwidth()
+
+
+def replication_seeds(master_seed: int, label: str, replications: int) -> List[int]:
+    """Stable child seeds for a campaign's replications."""
+    return [derive_seed(master_seed, f"{label}:rep{k}") % (1 << 31)
+            for k in range(replications)]
+
+
+def run_campaign(label: str, master_seed: int, replications: int,
+                 run_one: Callable[[int], Iterable[float]]) -> CampaignResult:
+    """Run ``replications`` seeded replications and merge the samples.
+
+    ``run_one(seed)`` builds+runs one system and returns metric samples
+    (e.g. rollback distances).
+    """
+    stat = RunningStat()
+    samples: List[float] = []
+    for seed in replication_seeds(master_seed, label, replications):
+        for value in run_one(seed):
+            stat.add(value)
+            samples.append(value)
+    return CampaignResult(label=label, stat=stat, samples=samples,
+                          replications=replications)

@@ -1,0 +1,23 @@
+"""The generalized guarded architecture: one guarded component among
+``K`` interacting peers (the restriction-removal extension the paper
+cites as its follow-up work [5])."""
+
+from .engines import (
+    GeneralActiveEngine,
+    GeneralPeerEngine,
+    GeneralShadowEngine,
+    GeneralTakeoverEngine,
+    route,
+)
+from .system import GeneralSystem, GeneralSystemConfig, build_general_system
+
+__all__ = [
+    "GeneralActiveEngine",
+    "GeneralPeerEngine",
+    "GeneralShadowEngine",
+    "GeneralSystem",
+    "GeneralSystemConfig",
+    "GeneralTakeoverEngine",
+    "build_general_system",
+    "route",
+]

@@ -1,0 +1,351 @@
+"""Generalized MDCD engines for arbitrary peer counts, with
+contamination provenance.
+
+The paper's system model fixes three processes "for simplicity and
+clarity" and notes that the restriction has since been removed ("we have
+recently extended the MDCD approach by removing the architectural
+restrictions on the underlying system", citing the authors' follow-up
+[5]).  This package implements that generalization for one guarded
+component escorted by its shadow among ``K >= 1`` high-confidence peers,
+with peer-to-peer traffic so potential contamination propagates
+*transitively* through the interaction graph.
+
+**Why the paper's algorithms are not enough here.**  In the
+three-process chain topology, every process's contamination traces
+through the validator of any "passed AT" it receives, so the paper's
+*unconditional* dirty-bit reset on a notification is sound.  In a
+general graph it is not: peer ``X`` can pass an acceptance test that
+certifies only *its* slice of ``P1_act``'s messages while peer ``Y`` is
+contaminated through a different slice — resetting ``Y``'s dirty bit on
+``X``'s notification silently legitimizes ``Y``'s contamination (our
+property-based tests found exactly this: the contamination then spreads
+with clean flags and becomes unrecoverable).
+
+The generalized engines therefore track **provenance**: every process
+maintains ``taint_sn`` — the highest ``P1_act`` sequence number that
+influenced its state, directly or transitively — and every dirty message
+piggybacks its sender's taint.  A validation carries the bound ``B`` of
+``P1_act`` sequence numbers it certifies; it cleans a process (and
+validates a journal record) **iff the taint is at or below B**.  The
+three-process protocols are the special case where coverage always
+holds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..app.acceptance import AcceptanceTest
+from ..app.workload import Action
+from ..messages.message import Message
+from ..mdcd.modified import (
+    ModifiedActiveEngine,
+    ModifiedPeerEngine,
+    ModifiedShadowEngine,
+)
+from ..mdcd.recovery import TakeoverEngine
+from ..types import CheckpointKind, MessageKind, ProcessId, Role
+
+P1ACT = ProcessId(Role.ACTIVE_1.value)
+
+
+def route(stimulus: int, targets: List[ProcessId]) -> ProcessId:
+    """Deterministic stimulus-based routing (shared by the active and
+    shadow so their message streams stay aligned)."""
+    return targets[stimulus % len(targets)]
+
+
+def _max_bound(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+class ProvenanceMixin:
+    """Provenance tracking shared by the generalized shadow and peers.
+
+    ``taint_sn`` is the ``P1_act``-sequence-number frontier of the
+    contamination influencing this process; every dirty message
+    piggybacks its sender's frontier.  A validation with bound ``B``
+    cleans a process — and validates records — **iff the relevant
+    frontier is at or below B** (the fix for the unsound unconditional
+    reset; see the module docstring).
+
+    Sender-rollback hazards (a dirty sender re-executing past sends a
+    receiver already baked in) are neutralised by the generalized
+    stack's *piecewise-deterministic replay* assumption: re-execution
+    regenerates the identical per-destination message stream, which
+    receivers deduplicate by ``(sender, receiver, dsn)``.  Anything the
+    receiver has not baked in stays unacknowledged (deferred acks) and
+    is re-sent from checkpointed unacked sets.
+    """
+
+    def message_bound(self, message: Message) -> Optional[int]:
+        """The ``P1_act``-sequence-number bound of a message's
+        contamination: its own ``sn`` for ``P1_act`` messages, the
+        piggybacked taint otherwise."""
+        if message.sender == P1ACT:
+            return message.sn
+        return message.taint_sn
+
+    def covered(self, bound: Optional[int]) -> bool:
+        """Whether a validation with bound ``bound`` certifies this
+        process's entire contamination frontier."""
+        if self.mdcd.taint_sn is None:
+            return True
+        return bound is not None and self.mdcd.taint_sn <= bound
+
+    def validated_at_receipt(self, message: Message) -> bool:
+        """Whether an incoming message is already covered by this
+        process's valid bound (``vr``)."""
+        if message.dirty_bit in (0, None):
+            return True
+        bound = self.message_bound(message)
+        return (bound is not None and self.mdcd.vr is not None
+                and bound <= self.mdcd.vr)
+
+    def apply_validation(self, bound: Optional[int]) -> bool:
+        """Apply a validation event: advance ``vr``, validate records
+        whose provenance the bound covers, clear the taint iff covered,
+        and recompute the dirty bit.  Returns whether a dirty state was
+        cleaned."""
+        self.mdcd.vr = _max_bound(self.mdcd.vr, bound)
+        for journal in (self.process.journal_sent, self.process.journal_recv):
+            for rec in journal.records(validated=False):
+                rec_bound = rec.sn if rec.sender == P1ACT else rec.taint_sn
+                if rec.sent_dirty == 0 or (
+                        rec_bound is not None and bound is not None
+                        and rec_bound <= bound):
+                    rec.validated = True
+        was_dirty = self.mdcd.dirty_bit == 1
+        if was_dirty and self.covered(bound):
+            self.mdcd.taint_sn = None
+            self.set_dirty(0, reason="passed-at-covered")
+            self._validate_everything()
+            self.process.flush_deferred_acks()
+            return True
+        if was_dirty:
+            self.process.counters.bump("passed_at.uncovered")
+        self.process.flush_deferred_acks()
+        return False
+
+    def certify_own_state(self) -> Optional[int]:
+        """My own acceptance test passed: my entire state — hence every
+        influence up to my taint frontier — is certified.  Returns the
+        bound to broadcast."""
+        bound = _max_bound(self.mdcd.msg_sn_p1act or None, self.mdcd.taint_sn)
+        self.mdcd.taint_sn = None
+        self.mdcd.vr = _max_bound(self.mdcd.vr, bound)
+        self.set_dirty(0, reason="own-at")
+        self._validate_everything()
+        self.process.flush_deferred_acks()
+        return bound
+
+    def _validate_everything(self) -> None:
+        """A fully clean state reflects only valid messages."""
+        for journal in (self.process.journal_sent, self.process.journal_recv):
+            for rec in journal.records(validated=False):
+                rec.validated = True
+
+    def receive_app(self, message: Message) -> None:
+        """Shared incoming-application handling with provenance."""
+        valid_now = self.validated_at_receipt(message)
+        if not valid_now:
+            if self.mdcd.dirty_bit == 0:
+                self.process.take_volatile_checkpoint(
+                    CheckpointKind.TYPE_1, meta={"trigger": message.describe()})
+                self.set_dirty(1, reason="dirty-receive")
+            self.mdcd.taint_sn = _max_bound(self.mdcd.taint_sn,
+                                            self.message_bound(message))
+        if message.sender == P1ACT and message.sn is not None:
+            self.mdcd.msg_sn_p1act = message.sn
+        self.process.apply_app_message(message, validated=valid_now)
+
+
+class GeneralActiveEngine(ModifiedActiveEngine):
+    """``P1_act`` addressing one of ``K`` peers per internal message.
+
+    Its own sends carry their sequence number as provenance (its sn
+    counter upper-bounds any taint it could itself have absorbed); the
+    pseudo dirty bit is reset only by validations whose bound covers its
+    last allocated sequence number — the precise form of the paper's
+    unconditional reset.
+    """
+
+    variant = "mdcd-general"
+
+    def __init__(self, process, at: AcceptanceTest,
+                 peers: List[ProcessId], shadow: ProcessId) -> None:
+        super().__init__(process, at, peer=peers[0], shadow=shadow)
+        self.peers = list(peers)
+
+    def on_send_internal(self, action: Action) -> None:
+        """Route the internal send to the stimulus-selected peer."""
+        self.peer = route(action.stimulus, self.peers)
+        super().on_send_internal(action)
+
+    def on_send_external(self, action: Action) -> None:
+        """AT-test; on success broadcast the validation to the shadow
+        and every peer."""
+        payload = self.process.component.produce_external(action.stimulus)
+        if not self.run_acceptance_test(payload):
+            self.process.request_software_recovery(
+                Message(kind=MessageKind.EXTERNAL, sender=self.process.process_id,
+                        receiver=ProcessId("DEVICE"), payload=payload,
+                        corrupt=payload.corrupt))
+            return
+        self.set_pseudo_dirty(0, reason="own-at")
+        self.process.sn.allocate()
+        self.validate_knowledge(p1act_sn=self.process.sn.current)
+        self.process.send_external(payload, validated=True)
+        self.process.send_passed_at([self.shadow] + self.peers,
+                                    msg_sn=self.process.sn.current,
+                                    ndc=self.process.current_ndc())
+        self._notify_validation(type2=True)
+
+    def on_passed_at(self, message: Message) -> None:
+        # The paper's unconditional pseudo reset: the next pseudo
+        # checkpoint re-anchors *after* every send made so far, so no
+        # send of P1_act can be rolled back past once any validation is
+        # processed — receivers may therefore bake covered messages in.
+        """The paper's unconditional pseudo reset (see inline note)."""
+        if not self.ndc_matches(message):
+            self.process.counters.bump("passed_at.ndc_mismatch")
+            return
+        self.set_pseudo_dirty(0, reason="passed-at")
+        self.validate_knowledge(p1act_sn=message.sn)
+        self._notify_validation(type2=True)
+
+
+class GeneralShadowEngine(ProvenanceMixin, ModifiedShadowEngine):
+    """The shadow, suppressing copies addressed like the active's and
+    tracking provenance of what it applies."""
+
+    variant = "mdcd-general"
+
+    def __init__(self, process, peers: List[ProcessId]) -> None:
+        super().__init__(process)
+        self.peers = list(peers)
+
+    def _suppress(self, action: Action, kind: MessageKind) -> None:
+        """Log the would-be message with its routed recipients."""
+        produce = (self.process.component.produce_internal
+                   if kind is MessageKind.INTERNAL
+                   else self.process.component.produce_external)
+        payload = produce(action.stimulus)
+        sn = self.process.sn.allocate()
+        if kind is MessageKind.INTERNAL:
+            recipients = [route(action.stimulus, self.peers)]
+        else:
+            recipients = [ProcessId("DEVICE")]
+        suppressed = Message(kind=kind, sender=self.process.process_id,
+                             receiver=recipients[0], payload=payload, sn=sn,
+                             dirty_bit=self.mdcd.dirty_bit,
+                             corrupt=payload.corrupt)
+        self.process.msg_log.append(sn, suppressed, recipients=recipients)
+        self.process.counters.bump("suppressed")
+
+    def on_passed_at(self, message: Message) -> None:
+        """Ndc-gated validation with provenance-aware cleaning."""
+        if not self.ndc_matches(message):
+            self.process.counters.bump("passed_at.ndc_mismatch")
+            return
+        if message.sn is not None:
+            self.process.msg_log.reclaim_up_to(message.sn)
+        cleaned = self.apply_validation(message.sn)
+        self._notify_validation(type2=cleaned)
+
+    def on_incoming_app(self, message: Message) -> None:
+        """Provenance-aware receive (taint absorption, Type-1 anchoring)."""
+        self.receive_app(message)
+
+
+class GeneralPeerEngine(ProvenanceMixin, ModifiedPeerEngine):
+    """A peer interacting with the guarded pair *and* other peers.
+
+    Even-stimulus internal sends go to the component-1 pair (the paper's
+    ``P2`` behaviour); odd-stimulus sends go to a stimulus-routed fellow
+    peer — the edge along which contamination propagates transitively,
+    carrying its provenance.
+    """
+
+    variant = "mdcd-general"
+
+    def __init__(self, process, at: AcceptanceTest,
+                 component1_recipients: List[ProcessId],
+                 other_peers: List[ProcessId],
+                 notification_recipients: List[ProcessId]) -> None:
+        super().__init__(process, at,
+                         component1_recipients=component1_recipients)
+        self.other_peers = list(other_peers)
+        self.notification_recipients = list(notification_recipients)
+
+    def on_send_internal(self, action: Action) -> None:
+        """Route: even stimuli to the component-1 pair, odd to a fellow
+        peer, with taint piggybacked on dirty sends."""
+        payload = self.process.component.produce_internal(action.stimulus)
+        dirty = self.mdcd.dirty_bit
+        if action.stimulus % 2 == 0 or not self.other_peers:
+            recipients = list(self.component1_recipients)
+        else:
+            recipients = [route(action.stimulus // 2, self.other_peers)]
+        self.process.send_internal(
+            payload, recipients, sn=None, dirty_bit=dirty,
+            validated=(dirty == 0), ndc=self.process.current_ndc(),
+            taint_sn=self.mdcd.taint_sn if dirty else None)
+
+    def on_send_external(self, action: Action) -> None:
+        """AT-test while dirty; on success certify the whole taint
+        frontier and broadcast its bound."""
+        payload = self.process.component.produce_external(action.stimulus)
+        if self.mdcd.dirty_bit == 1:
+            if not self.run_acceptance_test(payload):
+                self.process.request_software_recovery(
+                    Message(kind=MessageKind.EXTERNAL,
+                            sender=self.process.process_id,
+                            receiver=ProcessId("DEVICE"), payload=payload,
+                            corrupt=payload.corrupt))
+                return
+            bound = self.certify_own_state()
+            self.process.send_external(payload, validated=True)
+            self.process.send_passed_at(
+                list(self.notification_recipients), msg_sn=bound,
+                ndc=self.process.current_ndc())
+            self._notify_validation(type2=True)
+        else:
+            self.process.send_external(payload, validated=True)
+
+    def on_passed_at(self, message: Message) -> None:
+        """Ndc-gated validation with provenance-aware cleaning."""
+        if not self.ndc_matches(message):
+            self.process.counters.bump("passed_at.ndc_mismatch")
+            return
+        if message.sn is not None:
+            self.mdcd.msg_sn_p1act = max(self.mdcd.msg_sn_p1act, message.sn)
+        cleaned = self.apply_validation(message.sn)
+        self._notify_validation(type2=cleaned)
+
+    def on_incoming_app(self, message: Message) -> None:
+        """Provenance-aware receive (taint absorption, Type-1 anchoring)."""
+        self.receive_app(message)
+
+
+class GeneralTakeoverEngine(TakeoverEngine):
+    """The promoted shadow with the active's routing behaviour."""
+
+    variant = "mdcd-general-takeover"
+
+    def __init__(self, process, peers: List[ProcessId]) -> None:
+        super().__init__(process, peer=peers[0])
+        self.peers = list(peers)
+
+    def on_send_internal(self, action: Action) -> None:
+        """Post-takeover: clean routed sends to the peers."""
+        payload = self.process.component.produce_internal(action.stimulus)
+        sn = self.process.sn.allocate()
+        self.process.send_internal(payload,
+                                   [route(action.stimulus, self.peers)],
+                                   sn=sn, dirty_bit=0, validated=True,
+                                   ndc=self.process.current_ndc())

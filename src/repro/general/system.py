@@ -1,0 +1,204 @@
+"""Builder for the generalized guarded architecture: one guarded
+component (active + shadow) among ``K`` interacting high-confidence
+peers, under the full coordination scheme.
+
+Node layout: ``N1a`` (active), ``N1b`` (shadow), ``N2`` .. ``N{K+1}``
+(one per peer).  Every process runs the adapted TB engine; hardware
+recovery and timer resynchronization span all ``K + 2`` processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..app.acceptance import AcceptanceTest, AcceptanceTestConfig
+from ..app.component import ApplicationComponent
+from ..app.faults import (
+    HardwareFaultInjector,
+    HardwareFaultPlan,
+    SoftwareFaultInjector,
+    SoftwareFaultPlan,
+)
+from ..app.versions import HighConfidenceVersion, LowConfidenceVersion
+from ..app.workload import WorkloadConfig, WorkloadDriver, generate_actions
+from ..errors import ConfigurationError
+from ..host import FtProcess, IncarnationCounter
+from ..mdcd.recovery import SoftwareRecoveryManager
+from ..sim.clock import ClockConfig
+from ..sim.kernel import Simulator
+from ..sim.network import Network, NetworkConfig
+from ..sim.node import Node
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceRecorder
+from ..tb.adapted import AdaptedTbEngine
+from ..tb.blocking import TbConfig
+from ..tb.hardware_recovery import HardwareRecoveryCoordinator
+from ..tb.resync import ResyncService
+from ..types import NodeId, ProcessId, Role
+from .engines import (
+    GeneralActiveEngine,
+    GeneralPeerEngine,
+    GeneralShadowEngine,
+    GeneralTakeoverEngine,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralSystemConfig:
+    """Configuration of a generalized (K-peer) guarded system."""
+
+    n_peers: int = 3
+    seed: int = 0
+    horizon: float = 10_000.0
+    clock: ClockConfig = dataclasses.field(default_factory=ClockConfig)
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    tb: TbConfig = dataclasses.field(default_factory=TbConfig)
+    workload1: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
+    workload_peer: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
+    at: AcceptanceTestConfig = dataclasses.field(default_factory=AcceptanceTestConfig)
+    trace_enabled: bool = True
+    stable_history: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_peers < 1:
+            raise ConfigurationError("the guarded pair needs at least one peer")
+
+
+class GeneralSystem:
+    """A built, runnable ``K + 2``-process guarded system."""
+
+    def __init__(self, config: GeneralSystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        self.trace = TraceRecorder(enabled=config.trace_enabled)
+        self.network = Network(self.sim, config.network, self.rng)
+        self.incarnation = IncarnationCounter()
+        self.nodes: Dict[str, Node] = {}
+        self.low_version = LowConfidenceVersion("component1-low")
+        self.peer_ids: List[ProcessId] = [
+            ProcessId(f"P{k + 2}") for k in range(config.n_peers)]
+
+        actions1 = generate_actions(
+            dataclasses.replace(config.workload1, horizon=config.horizon),
+            self.rng, "component1")
+        self.active = self._build(Role.ACTIVE_1.value, "N1a",
+                                  self.low_version, actions1, "P1act")
+        self.shadow = self._build(Role.SHADOW_1.value, "N1b",
+                                  HighConfidenceVersion("component1-high"),
+                                  actions1, "P1sdw")
+        self.peers: List[FtProcess] = []
+        for k, pid in enumerate(self.peer_ids):
+            actions = generate_actions(
+                dataclasses.replace(config.workload_peer, horizon=config.horizon),
+                self.rng, f"peer{k + 2}")
+            self.peers.append(self._build(
+                str(pid), f"N{k + 2}",
+                HighConfidenceVersion(f"component{k + 2}"), actions, str(pid)))
+
+        self._wire_engines()
+        self.sw_recovery = SoftwareRecoveryManager(
+            active=self.active, shadow=self.shadow, peer=self.peers,
+            incarnation=self.incarnation, trace=self.trace)
+        self.sw_recovery.takeover_engine_factory = (
+            lambda shadow: GeneralTakeoverEngine(shadow, peers=self.peer_ids))
+        self.sw_recovery.install()
+        self.hw_recovery = HardwareRecoveryCoordinator(
+            self.process_list(), self.incarnation, self.trace)
+        self.hw_recovery.install()
+        self.injectors: List = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _build(self, process_id: str, node_name: str, version,
+               actions, driver_name: str) -> FtProcess:
+        node = Node(NodeId(node_name), self.sim, self.config.clock, self.rng,
+                    stable_history=self.config.stable_history)
+        self.nodes[node_name] = node
+        component = ApplicationComponent(f"{process_id}-component", version)
+        process = FtProcess(ProcessId(process_id), node, self.network,
+                            component,
+                            WorkloadDriver(self.sim, actions, driver_name),
+                            self.incarnation,
+                            role=Role(process_id) if process_id in
+                            (Role.ACTIVE_1.value, Role.SHADOW_1.value,
+                             Role.PEER_2.value) else None,
+                            trace=self.trace)
+        process.journal_retention = max(600.0, 4.0 * self.config.tb.interval)
+        # The generalized stack assumes piecewise-deterministic replay:
+        # per-destination sequence numbers let receivers deduplicate a
+        # rolled-back sender's regenerated message stream.
+        process.replay_dedup = True
+        return process
+
+    def _wire_engines(self) -> None:
+        config = self.config
+        shadow_id = self.shadow.process_id
+        active_id = self.active.process_id
+        self.resync = ResyncService(
+            self.sim, [n.clock for n in self.nodes.values()], self.trace)
+
+        self.active.attach_engines(
+            software=GeneralActiveEngine(
+                self.active, AcceptanceTest(config.at, self.rng, "P1act"),
+                peers=self.peer_ids, shadow=shadow_id),
+            hardware=AdaptedTbEngine(self.active, config.tb, config.clock,
+                                     config.network, resync=self.resync))
+        self.shadow.attach_engines(
+            software=GeneralShadowEngine(self.shadow, peers=self.peer_ids),
+            hardware=AdaptedTbEngine(self.shadow, config.tb, config.clock,
+                                     config.network, resync=self.resync))
+        for peer in self.peers:
+            others = [pid for pid in self.peer_ids if pid != peer.process_id]
+            notification_targets = [active_id, shadow_id] + others
+            peer.attach_engines(
+                software=GeneralPeerEngine(
+                    peer, AcceptanceTest(config.at, self.rng, str(peer.process_id)),
+                    component1_recipients=[active_id, shadow_id],
+                    other_peers=others,
+                    notification_recipients=notification_targets),
+                hardware=AdaptedTbEngine(peer, config.tb, config.clock,
+                                         config.network, resync=self.resync))
+
+    # ------------------------------------------------------------------
+    def process_list(self) -> List[FtProcess]:
+        """All processes: active, shadow, then the peers in id order."""
+        return [self.active, self.shadow] + self.peers
+
+    def inject_software_fault(self, plan: SoftwareFaultPlan) -> None:
+        """Arm the guarded component's design fault."""
+        injector = SoftwareFaultInjector(self.sim, self.low_version, plan,
+                                         self.trace)
+        injector.arm()
+        self.injectors.append(injector)
+
+    def inject_crash(self, plan: HardwareFaultPlan) -> None:
+        """Arm a node crash (and restart)."""
+        injector = HardwareFaultInjector(self.sim, self.nodes[plan.node_id],
+                                         plan, self.trace)
+        injector.arm()
+        self.injectors.append(injector)
+
+    def start(self) -> None:
+        """Start every process.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for proc in self.process_list():
+            proc.start()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Start (if needed) and run to ``until`` (default: horizon)."""
+        self.start()
+        self.sim.run(until=until if until is not None else self.config.horizon)
+
+
+def build_general_system(config: Optional[GeneralSystemConfig] = None,
+                         **overrides) -> GeneralSystem:
+    """Build a generalized system (keyword overrides applied to the
+    config first)."""
+    base = config if config is not None else GeneralSystemConfig()
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return GeneralSystem(base)

@@ -1,0 +1,27 @@
+"""The MDCD (message-driven confidence-driven) protocol family.
+
+``original`` implements the protocol of paper Section 2.1 (Fig. 1);
+``modified`` implements the coordination-ready algorithms of Section 3 /
+Appendix A (Fig. 3); ``recovery`` implements shadow takeover.
+"""
+
+from .base import MdcdEngineBase
+from .commissioning import commission_upgrade
+from .modified import ModifiedActiveEngine, ModifiedPeerEngine, ModifiedShadowEngine
+from .original import OriginalActiveEngine, OriginalPeerEngine, OriginalShadowEngine
+from .recovery import SoftwareRecoveryManager, TakeoverEngine
+from .state import MdcdState
+
+__all__ = [
+    "MdcdEngineBase",
+    "commission_upgrade",
+    "MdcdState",
+    "ModifiedActiveEngine",
+    "ModifiedPeerEngine",
+    "ModifiedShadowEngine",
+    "OriginalActiveEngine",
+    "OriginalPeerEngine",
+    "OriginalShadowEngine",
+    "SoftwareRecoveryManager",
+    "TakeoverEngine",
+]

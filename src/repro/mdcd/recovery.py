@@ -1,0 +1,217 @@
+"""MDCD software error recovery: shadow takeover with local
+rollback/roll-forward decisions (paper Section 2.1).
+
+When an acceptance test fails, ``P1_sdw`` takes over ``P1_act``'s active
+role.  Each surviving process checks its *local* dirty bit: dirty means
+roll back to the most recent volatile checkpoint, clean means roll
+forward from the current state — no message exchange is needed to make
+the decision (the MDCD theorems guarantee that the local decisions yield
+a globally consistent, recoverable state).  The promoted shadow then
+re-sends the suppressed messages in its log beyond the valid message
+register ``VR`` (the ones whose ``P1_act`` counterparts were never
+validated) and keeps suppressing the rest, and guarded operation ends:
+dirty bits stay 0 and the adapted TB protocol degenerates to the
+original (Section 4.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..app.workload import Action
+from ..errors import RecoveryError
+from ..messages.message import Message
+from ..types import MessageKind, ProcessId, RecoveryAction, Role
+from .base import MdcdEngineBase
+
+
+class TakeoverEngine(MdcdEngineBase):
+    """The promoted shadow's post-takeover behaviour.
+
+    A single high-confidence component 1 remains: internal messages go
+    to ``P2`` flagged clean (born valid), external messages go straight
+    to the device world, and no acceptance tests run — so dirty bits
+    never set again and the TB protocol behaves like its original
+    version.
+    """
+
+    variant = "mdcd-takeover"
+
+    def __init__(self, process, peer: ProcessId) -> None:
+        super().__init__(process, at=None, ndc_gating=True)
+        self.peer = peer
+        process.mdcd.guarded = False
+        process.mdcd.dirty_bit = 0
+
+    def on_send_internal(self, action: Action) -> None:
+        """Clean (born-valid) internal send to the surviving peer."""
+        payload = self.process.component.produce_internal(action.stimulus)
+        sn = self.process.sn.allocate()
+        self.process.send_internal(payload, [self.peer], sn=sn, dirty_bit=0,
+                                   validated=True,
+                                   ndc=self.process.current_ndc())
+
+    def on_send_external(self, action: Action) -> None:
+        """Direct external send - no acceptance test post-takeover."""
+        payload = self.process.component.produce_external(action.stimulus)
+        self.process.send_external(payload, validated=True)
+
+    def on_passed_at(self, message: Message) -> None:
+        """Validate knowledge (notifications are rare post-takeover)."""
+        if self.ndc_matches(message):
+            self.validate_knowledge(p1act_sn=message.sn)
+
+    def on_incoming_app(self, message: Message) -> None:
+        """Apply; peers only send clean-flagged messages now."""
+        self.process.apply_app_message(
+            message, validated=(message.dirty_bit in (0, None)))
+
+
+class SoftwareRecoveryManager:
+    """Coordinates a shadow takeover across the interacting processes.
+
+    Installed on every process as ``process.recovery_manager`` by the
+    system builder; engines escalate failed ATs here.  ``peer`` may be a
+    single process (the paper's three-process model) or a list of peers
+    (the generalized architecture of :mod:`repro.general`).
+    """
+
+    def __init__(self, active, shadow, peer, incarnation, trace) -> None:
+        self.active = active
+        self.shadow = shadow
+        self.peers = list(peer) if isinstance(peer, (list, tuple)) else [peer]
+        self.incarnation = incarnation
+        self.trace = trace
+        self.completed = False
+        #: Per-process recovery decisions of the last takeover, for
+        #: tests and reports: {process_id: RecoveryAction}.
+        self.decisions = {}
+        #: Rollback distances of the last takeover (work-seconds).
+        self.distances = {}
+        #: Number of log entries the promoted shadow re-sent / dropped.
+        self.resent = 0
+        self.suppressed = 0
+        #: Builds the promoted shadow's post-takeover engine; the
+        #: generalized architecture overrides this with a multicast-
+        #: routing variant.
+        self.takeover_engine_factory = (
+            lambda shadow: TakeoverEngine(shadow, peer=self.peer.process_id))
+
+    # ------------------------------------------------------------------
+    @property
+    def peer(self):
+        """The first peer (the paper's ``P2``) — compatibility accessor
+        for the three-process model."""
+        return self.peers[0]
+
+    def install(self) -> None:
+        """Attach this manager to every process."""
+        for proc in [self.active, self.shadow] + self.peers:
+            proc.recovery_manager = self
+
+    def recover(self, detected_by, failed_message: Message) -> None:
+        """Run the takeover.  Idempotent: a second detection (e.g. a
+        false alarm racing the first) is traced and ignored."""
+        sim = detected_by.sim
+        if self.completed:
+            self.trace.record(sim.now, "recovery.software.duplicate",
+                              detected_by.process_id)
+            return
+        self.completed = True
+        self.trace.record(sim.now, "recovery.software.start",
+                          detected_by.process_id,
+                          failed=failed_message.describe())
+        # Fence off every message of the failed incarnation: the failed
+        # active's traffic, and any pre-rollback traffic of the others.
+        self.incarnation.bump()
+        self.active.depose()
+
+        for proc in [self.shadow] + self.peers:
+            self._local_decision(proc)
+
+        self._promote_shadow()
+        self._detach_active_from_peers()
+        self._resend_unacknowledged()
+        self.active.mdcd.guarded = False
+        for proc in self.peers:
+            proc.mdcd.guarded = False
+        self.trace.record(sim.now, "recovery.software.done", None,
+                          decisions={str(k): v.value for k, v in self.decisions.items()},
+                          resent=self.resent, suppressed=self.suppressed)
+
+    # ------------------------------------------------------------------
+    def _local_decision(self, proc) -> None:
+        """The paper's local rule: dirty -> rollback, clean -> roll forward."""
+        if proc.mdcd.dirty_bit == 1:
+            checkpoint = proc.volatile_checkpoint()
+            if checkpoint is None:
+                # Volatile storage was lost (e.g. an earlier crash) and
+                # never re-established: fall back to the latest stable
+                # checkpoint if one exists.  This is the degraded path a
+                # naive protocol combination can force (paper Fig. 4(a));
+                # the trace records it so scenarios can assert on it.
+                checkpoint = proc.node.stable.peek(proc.process_id)
+                proc.counters.bump("recovery.degraded_fallback")
+                proc.trace.record(proc.sim.now, "recovery.degraded_fallback",
+                                  proc.process_id)
+            if checkpoint is None:
+                raise RecoveryError(
+                    f"{proc.process_id} is dirty but has no checkpoint to roll back to")
+            self.distances[proc.process_id] = proc.restore_from(checkpoint, "software")
+            self.decisions[proc.process_id] = RecoveryAction.ROLLBACK
+        else:
+            proc.roll_forward("software")
+            self.decisions[proc.process_id] = RecoveryAction.ROLL_FORWARD
+
+    def _promote_shadow(self) -> None:
+        """Re-send unvalidated logged messages and switch the shadow's
+        engine to post-takeover behaviour."""
+        shadow = self.shadow
+        vr = shadow.mdcd.vr
+        to_resend = shadow.msg_log.entries_after(vr)
+        if vr is not None:
+            self.suppressed += shadow.msg_log.reclaim_up_to(vr)
+        for entry in to_resend:
+            message = entry.message
+            # The suppressed copies were never transmitted; send them now
+            # under the new incarnation.  The shadow's state is
+            # non-contaminated after its local decision, so they are born
+            # valid.
+            if message.kind is MessageKind.EXTERNAL:
+                shadow.send_external(message.payload, validated=True)
+            else:
+                shadow.send_internal(message.payload, entry.destinations(),
+                                     sn=message.sn, dirty_bit=0, validated=True,
+                                     ndc=shadow.current_ndc())
+            self.resent += 1
+        shadow.msg_log.clear()
+        shadow.software = self.takeover_engine_factory(shadow)
+        shadow.driver.resume()
+
+    def _detach_active_from_peers(self) -> None:
+        """Stop the peers from addressing the deposed active."""
+        for peer in self.peers:
+            engine = peer.software
+            recipients = getattr(engine, "component1_recipients", None)
+            if recipients is not None:
+                engine.component1_recipients = [
+                    pid for pid in recipients if pid != self.active.process_id]
+
+    def _resend_unacknowledged(self) -> None:
+        """Re-send survivors' unacknowledged messages under the new
+        incarnation.
+
+        The incarnation fence drops pre-recovery in-flight deliveries;
+        a message a surviving process sent (and still counts as sent)
+        must therefore be re-transmitted or it would be lost to a
+        receiver that rolled back past it.  Receivers that did process
+        the original drop the re-send by dedup key.  Messages addressed
+        to the deposed active are skipped — it is out of service.
+        """
+        deposed = self.active.process_id
+        for proc in [self.shadow] + self.peers:
+            for message in proc.acks.unacknowledged():
+                if message.receiver == deposed:
+                    proc.acks.acked(message.msg_id)
+                    continue
+                proc.resend(message)

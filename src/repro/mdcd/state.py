@@ -1,0 +1,76 @@
+"""MDCD per-process knowledge state.
+
+These are the variables the paper's algorithms (Appendix A) read and
+write: the dirty bit, ``P1_act``'s pseudo dirty bit, the shadow's valid
+message register ``VR``, and the peers' record of ``P1_act``'s message
+sequence number.  The state is plain data and is included in every
+checkpoint, so rollback restores the knowledge a process had at
+checkpoint time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class MdcdState:
+    """Checkpointable MDCD knowledge of one process.
+
+    Attributes
+    ----------
+    dirty_bit:
+        1 while the process state is potentially contaminated.  For
+        ``P1_act`` this is constant 1 during guarded operation ("the
+        process is invariably regarded as potentially contaminated").
+    pseudo_dirty_bit:
+        ``P1_act`` only (modified protocol): reset to 0 on AT success or
+        a matching "passed AT" notification, set to 1 immediately before
+        the first internal send after a validation.  Drives pseudo
+        checkpoints and substitutes for the dirty bit in the adapted TB
+        protocol's ``write_disk`` (paper footnote 2).
+    vr:
+        The shadow's valid message register ``VR``: the highest
+        ``P1_act`` sequence number known valid.  ``None`` before any
+        validation.
+    msg_sn_p1act:
+        ``P2``'s (and, symmetrically, the recovery logic's) record of
+        the last ``P1_act`` message sequence number it received —
+        the value ``P2`` piggybacks on its own "passed AT" broadcasts.
+    guarded:
+        Whether guarded operation is in effect.  After a shadow takeover
+        (or a completed upgrade) MDCD "goes on leave": every dirty bit
+        stays 0 and the adapted TB protocol degenerates to the original
+        (paper Section 4.2, last paragraph).
+    """
+
+    dirty_bit: int = 0
+    pseudo_dirty_bit: int = 0
+    vr: Optional[int] = None
+    msg_sn_p1act: int = 0
+    guarded: bool = True
+    #: Contamination provenance (generalized K-peer protocol): the
+    #: highest ``P1_act`` sequence number that influenced this process's
+    #: state, directly or transitively.  ``None`` while clean.  The
+    #: paper's three-process protocols leave it unused: their chain
+    #: topology guarantees a validator's bound covers its audience's
+    #: contamination, so the unconditional dirty-bit reset is sound
+    #: there — but not in a general interaction graph.
+    taint_sn: Optional[int] = None
+    #: Rollback-hazard sources (generalized protocol): peers whose
+    #: dirty-flagged messages this process applied and whose *cleaning*
+    #: it has not yet observed.  Until a dirty sender is known clean,
+    #: it may still roll back past those sends (its recovery anchor is
+    #: its contamination onset), so the receiver must stay suspicious
+    #: even if the messages' own provenance is covered by a validation.
+    dirty_sources: Optional[set] = None
+
+    def __post_init__(self) -> None:
+        if self.dirty_sources is None:
+            self.dirty_sources = set()
+
+    def copy(self) -> "MdcdState":
+        """An independent copy (checkpoints pickle the whole snapshot,
+        but in-process consumers occasionally need one too)."""
+        return dataclasses.replace(self, dirty_sources=set(self.dirty_sources))

@@ -1,0 +1,17 @@
+"""Message records, sequence/ack bookkeeping, and the shadow's log."""
+
+from .log import LogEntry, MessageLog
+from .message import DEVICE, Message, passed_at_notification
+from .sequence import AckTracker, ReceiveDeduplicator, SequenceAllocator, latest_sn
+
+__all__ = [
+    "AckTracker",
+    "DEVICE",
+    "LogEntry",
+    "Message",
+    "MessageLog",
+    "ReceiveDeduplicator",
+    "SequenceAllocator",
+    "latest_sn",
+    "passed_at_notification",
+]

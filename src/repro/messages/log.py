@@ -1,0 +1,91 @@
+"""The shadow process's suppressed-message log.
+
+``P1_sdw``'s outgoing messages are suppressed during guarded operation
+and kept in a log (``msg_logging`` in Appendix A).  When a "passed AT"
+notification arrives, the log entries covered by the validated sequence
+number become unnecessary and are reclaimed (``memory_reclamation``).
+If the shadow takes over after a software error, it re-sends the logged
+messages beyond the last *valid* message of ``P1_act`` (the valid
+message register ``VR``), or keeps suppressing up to that point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from .message import Message
+
+
+@dataclasses.dataclass
+class LogEntry:
+    """One suppressed message together with its shadow-side sequence
+    number.  ``recipients`` records the multicast destinations of the
+    mirrored send (defaults to the message's single receiver); takeover
+    re-sends to all of them."""
+
+    sn: int
+    message: Message
+    recipients: Optional[List] = None
+
+    def destinations(self) -> List:
+        """The processes a takeover re-send must address."""
+        return list(self.recipients) if self.recipients \
+            else [self.message.receiver]
+
+
+class MessageLog:
+    """Ordered log of suppressed shadow messages.
+
+    The log participates in checkpoints (it is plain data), so rollback
+    restores it together with the rest of the process state.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        #: Count of entries reclaimed so far (monitoring).
+        self.reclaimed_count: int = 0
+
+    def append(self, sn: int, message: Message,
+               recipients: Optional[List] = None) -> None:
+        """Log a suppressed message under the shadow's sequence number."""
+        if self._entries and sn <= self._entries[-1].sn:
+            raise ValueError(
+                f"message log sequence numbers must increase: {sn} after "
+                f"{self._entries[-1].sn}")
+        self._entries.append(LogEntry(sn=sn, message=message,
+                                      recipients=recipients))
+
+    def reclaim_up_to(self, sn: int) -> int:
+        """Drop entries with sequence number ``<= sn``; returns how many.
+
+        Called when a "passed AT" notification confirms that ``P1_act``'s
+        messages up to the corresponding point were valid, making the
+        shadow's copies unnecessary.
+        """
+        kept = [e for e in self._entries if e.sn > sn]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        self.reclaimed_count += dropped
+        return dropped
+
+    def entries_after(self, sn: Optional[int]) -> List[LogEntry]:
+        """Entries strictly beyond ``sn`` (all entries if ``sn`` is None).
+
+        These are the messages the shadow must re-send on takeover,
+        because the corresponding ``P1_act`` messages were never
+        validated.
+        """
+        if sn is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.sn > sn]
+
+    def clear(self) -> None:
+        """Empty the log (post-takeover, once re-sends are issued)."""
+        self._entries = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

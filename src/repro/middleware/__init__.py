@@ -1,0 +1,14 @@
+"""GSU middleware: run user component logic under the paper's guarded,
+protocol-coordinated execution (the concluding-remarks system)."""
+
+from .logic import ComponentLogic, Context, LogicComponent, LogicState
+from .runtime import GsuRuntime, MiddlewareConfig
+
+__all__ = [
+    "ComponentLogic",
+    "Context",
+    "GsuRuntime",
+    "LogicComponent",
+    "LogicState",
+    "MiddlewareConfig",
+]

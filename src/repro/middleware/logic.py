@@ -1,0 +1,205 @@
+"""User-facing component logic for the GSU middleware.
+
+The paper's concluding remarks describe the *GSU Middleware*: a layer
+that lets real application components run under the MDCD protocol (and,
+as planned there and implemented here, under the full coordination
+scheme).  This module defines the embedding contract:
+
+* subclass :class:`ComponentLogic` and implement ``on_start`` /
+  ``on_message`` / ``on_tick``;
+* keep **all** mutable state in ``ctx.state`` (a dict) — it is what the
+  checkpoints capture and rollback restores;
+* send through the context (``ctx.send`` for internal messages to the
+  counterpart component, ``ctx.emit`` for external messages to devices);
+  the middleware routes every send through the protocol engines, so
+  suppression (shadow), acceptance testing, dirty-bit piggybacking and
+  blocking-period deferral all apply exactly as in the paper.
+
+Determinism contract: handlers must be deterministic functions of
+``ctx.state`` and their inputs (no wall clock, no ambient randomness
+— use ``ctx.now`` and derive pseudo-randomness from state), because the
+active and shadow replicas of component 1 run the same logic on the
+same inputs and the shadow's takeover correctness rests on their
+equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from ..app.component import Payload
+from ..app.versions import LowConfidenceVersion, SoftwareVersion
+from ..app.workload import Action, ActionKind
+
+
+class ComponentLogic:
+    """Base class for user component logic (stateless by contract —
+    state lives in the context)."""
+
+    def on_start(self, ctx: "Context") -> None:
+        """Called once when the runtime starts."""
+
+    def on_message(self, ctx: "Context", value: Any) -> None:
+        """Called for every internal message delivered to this replica."""
+
+    def on_tick(self, ctx: "Context") -> None:
+        """Called at the component's configured tick period."""
+
+
+@dataclasses.dataclass
+class LogicState:
+    """Checkpointable state of a logic-driven component.
+
+    ``data`` is the user's state dict; ``corrupt`` is the hidden ground
+    truth (identical semantics to
+    :class:`repro.app.component.AppState`); the queues hold values whose
+    sends are in flight through the engine path.
+    """
+
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    corrupt: bool = False
+    inputs_applied: int = 0
+    pending_internal: List[Any] = dataclasses.field(default_factory=list)
+    pending_external: List[Any] = dataclasses.field(default_factory=list)
+
+
+class Context:
+    """The handle user logic receives in every callback."""
+
+    def __init__(self, component: "LogicComponent") -> None:
+        self._component = component
+
+    @property
+    def state(self) -> Dict[str, Any]:
+        """The checkpointed state dict (mutate freely; must stay
+        picklable)."""
+        return self._component.state.data
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._component.process.sim.now
+
+    @property
+    def process_id(self) -> str:
+        """This replica's process id (``P1_act``/``P1_sdw``/``P2``)."""
+        return str(self._component.process.process_id)
+
+    def send(self, value: Any) -> None:
+        """Send an internal message to the counterpart component.
+
+        Routed through the protocol engines: the shadow's copy is
+        suppressed and logged, dirty bits are piggybacked, and sends
+        landing in a blocking period are deferred.
+        """
+        self._component.enqueue_send(value, external=False)
+
+    def emit(self, value: Any) -> None:
+        """Send an external message to the device world (subject to
+        acceptance testing when this replica is potentially
+        contaminated)."""
+        self._component.enqueue_send(value, external=True)
+
+
+class LogicComponent:
+    """Adapter presenting :class:`ComponentLogic` through the component
+    interface the host and protocol engines consume.
+
+    Sends initiated by user code are queued on the (checkpointed) state
+    and flushed through ``FtProcess.perform_action`` so every protocol
+    hook fires; the engines then call back into
+    :meth:`produce_internal`/:meth:`produce_external` to pop the queued
+    value into a payload.  The component's
+    :class:`~repro.app.versions.SoftwareVersion` decides fault
+    behaviour: an active low-confidence version perturbs emitted values
+    and contaminates the state, exactly as in the synthetic workload.
+    """
+
+    def __init__(self, name: str, version: SoftwareVersion,
+                 logic: ComponentLogic) -> None:
+        self.name = name
+        self.version = version
+        self.logic = logic
+        self.state = LogicState()
+        self.process = None  # bound by the runtime
+        self.ctx = Context(self)
+
+    # ------------------------------------------------------------------
+    # runtime wiring
+    # ------------------------------------------------------------------
+    def bind(self, process) -> None:
+        """Attach the hosting process (runtime-internal)."""
+        self.process = process
+
+    def start(self) -> None:
+        """Deliver the ``on_start`` callback."""
+        self.logic.on_start(self.ctx)
+
+    def tick(self) -> None:
+        """Deliver one ``on_tick`` callback."""
+        self.logic.on_tick(self.ctx)
+
+    def enqueue_send(self, value: Any, external: bool) -> None:
+        """Queue a user-initiated send and push it through the host's
+        action path (blocking deferral, deposed checks, engines)."""
+        if external:
+            self.state.pending_external.append(value)
+            kind = ActionKind.SEND_EXTERNAL
+        else:
+            self.state.pending_internal.append(value)
+            kind = ActionKind.SEND_INTERNAL
+        self.process.perform_action(
+            Action(index=20_000_000, kind=kind, gap=0.0, stimulus=0))
+
+    # ------------------------------------------------------------------
+    # the component interface the engines consume
+    # ------------------------------------------------------------------
+    def produce_internal(self, stimulus: int) -> Payload:
+        """Pop the next queued internal value into a payload."""
+        return self._produce(self.state.pending_internal)
+
+    def produce_external(self, stimulus: int) -> Payload:
+        """Pop the next queued external value into a payload."""
+        return self._produce(self.state.pending_external)
+
+    def _produce(self, queue: List[Any]) -> Payload:
+        value = queue.pop(0) if queue else None
+        corrupt = self.state.corrupt
+        if (isinstance(self.version, LowConfidenceVersion)
+                and self.version.fault_active):
+            self.version.fault_count += 1
+            self.state.corrupt = True
+            corrupt = True
+            value = ("CORRUPTED", value)
+        return Payload(value=value, corrupt=corrupt)
+
+    def receive_internal(self, payload: Payload) -> None:
+        """Deliver a payload to the user's on_message handler."""
+        if payload.corrupt:
+            self.state.corrupt = True
+        self.state.inputs_applied += 1
+        self.logic.on_message(self.ctx, payload.value)
+
+    def local_step(self, stimulus: int) -> None:
+        """No synthetic computation steps in middleware mode."""
+
+    # ------------------------------------------------------------------
+    # checkpointing support (same contract as ApplicationComponent)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LogicState:
+        """Deep-copy the checkpointable state."""
+        import copy
+        return copy.deepcopy(self.state)
+
+    def restore(self, state: LogicState) -> None:
+        """Replace the live state with a restored copy."""
+        import copy
+        self.state = copy.deepcopy(state)
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary for traces and reports."""
+        return {"name": self.name, "corrupt": self.state.corrupt,
+                "inputs": self.state.inputs_applied,
+                "version": self.version.name,
+                "keys": sorted(self.state.data)}

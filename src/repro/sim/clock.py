@@ -1,0 +1,140 @@
+"""Drifting local clocks with bounded skew — the TB protocols' timer model.
+
+The time-based checkpointing protocol of Neves & Fuchs assumes each node
+owns a hardware clock that is *approximately* synchronized:
+
+* immediately after a resynchronization, any two clocks differ by at
+  most ``delta`` (the maximum initial deviation);
+* between resynchronizations, each clock drifts at a bounded rate
+  ``rho``, so after ``t`` seconds two clocks may have diverged by up to
+  an additional ``2 * rho * t``.
+
+:class:`DriftingClock` implements a piecewise-linear local clock
+``local(t) = base_local + (1 + drift) * (t - base_true)`` whose ``drift``
+is drawn uniformly from ``[-rho, +rho]`` and whose ``base_local`` is
+re-anchored (with a bounded error) at every resynchronization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from ..errors import ClockError
+from .kernel import Simulator
+from .rng import RngRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockConfig:
+    """Bounds of the clock model.
+
+    Attributes
+    ----------
+    delta:
+        Maximum deviation between any two clocks immediately after a
+        resynchronization (the paper's ``delta``), in seconds.
+    rho:
+        Maximum drift rate (the paper's ``rho``), dimensionless
+        (seconds of drift per second of true time).
+    """
+
+    delta: float = 0.01
+    rho: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.delta < 0 or self.rho < 0:
+            raise ClockError(f"clock bounds must be non-negative: {self}")
+
+    def max_skew(self, elapsed_since_resync: float) -> float:
+        """Worst-case deviation between two clocks ``elapsed_since_resync``
+        seconds after the last resynchronization: ``delta + 2*rho*t``."""
+        return self.delta + 2.0 * self.rho * elapsed_since_resync
+
+
+class DriftingClock:
+    """A local clock with bounded drift, anchored to a simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying true time.
+    config:
+        Skew/drift bounds shared by every clock in the system.
+    rng:
+        Stream used to draw this clock's drift rate and per-resync
+        anchoring error.
+    name:
+        Used in error messages and trace records.
+    """
+
+    def __init__(self, sim: Simulator, config: ClockConfig,
+                 rng_registry: RngRegistry, name: str) -> None:
+        self._sim = sim
+        self.config = config
+        self.name = name
+        self._rng = rng_registry.stream(f"clock.{name}")
+        # Drift is fixed for the lifetime of the clock (a property of the
+        # oscillator, not of the synchronization).
+        self._drift = self._rng.uniform(-config.rho, config.rho)
+        self._base_true = sim.now
+        # Initial anchoring error within +-delta/2 so any *pair* of
+        # clocks differs by at most delta.
+        self._base_local = sim.now + self._rng.uniform(-config.delta / 2.0,
+                                                       config.delta / 2.0)
+        self._last_resync_true = sim.now
+        self._resync_listeners: List[Callable[["DriftingClock"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def drift(self) -> float:
+        """This clock's (hidden) drift rate, in ``[-rho, +rho]``."""
+        return self._drift
+
+    def now(self) -> float:
+        """Current local-clock reading."""
+        return self.read(self._sim.now)
+
+    def read(self, true_time: float) -> float:
+        """Local-clock reading at true time ``true_time``."""
+        return self._base_local + (1.0 + self._drift) * (true_time - self._base_true)
+
+    def true_time_of(self, local_time: float) -> float:
+        """Invert the clock: the true time at which this clock reads
+        ``local_time`` (under the *current* anchoring)."""
+        return self._base_true + (local_time - self._base_local) / (1.0 + self._drift)
+
+    def elapsed_since_resync(self) -> float:
+        """True-time seconds since the last resynchronization.
+
+        The protocols use this (via :meth:`ClockConfig.max_skew`) to size
+        blocking periods; a real implementation would use the local
+        estimate, which differs by O(rho) — negligible at the bounds the
+        paper considers.
+        """
+        return self._sim.now - self._last_resync_true
+
+    # ------------------------------------------------------------------
+    def resync(self, reference_local: Optional[float] = None) -> float:
+        """Resynchronize this clock to the reference.
+
+        ``reference_local`` defaults to the simulator's true time (an
+        idealized external reference).  The clock is re-anchored so its
+        reading equals the reference plus an error drawn uniformly from
+        ``[-delta/2, +delta/2]``.  Returns the new reading.  Registered
+        resync listeners (timer services) are notified so pending alarms
+        can be re-converted to true time.
+        """
+        if reference_local is None:
+            reference_local = self._sim.now
+        error = self._rng.uniform(-self.config.delta / 2.0, self.config.delta / 2.0)
+        self._base_true = self._sim.now
+        self._base_local = reference_local + error
+        self._last_resync_true = self._sim.now
+        for listener in list(self._resync_listeners):
+            listener(self)
+        return self._base_local
+
+    def on_resync(self, listener: Callable[["DriftingClock"], None]) -> None:
+        """Register a callback invoked after every :meth:`resync`."""
+        self._resync_listeners.append(listener)

@@ -1,0 +1,162 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` maintains a priority queue of :class:`~repro.sim.events.Event`
+objects and a master *true time* clock.  Everything else in the library —
+network delivery, drifting local clocks, checkpoint timers, fault
+injection — is expressed as events scheduled on one simulator instance.
+
+The kernel is intentionally small and synchronous: callbacks run to
+completion in timestamp order, and the only sources of nondeterminism
+are the seeded RNG streams in :mod:`repro.sim.rng`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulingError
+from .events import Event, EventPriority, make_event
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(1.5, fired.append, args=(1.5,))
+    >>> _ = sim.schedule_at(0.5, fired.append, args=(0.5,))
+    >>> sim.run()
+    >>> fired
+    [0.5, 1.5]
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now: float = 0.0
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        #: Number of events executed so far (cancelled events excluded).
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The current simulated true time, in seconds."""
+        return self._now
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = EventPriority.ACTION,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute true time ``time``.
+
+        Raises :class:`~repro.errors.SchedulingError` if ``time`` lies in
+        the past (events *at* the current time are allowed — they run
+        after the currently-executing event).
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at t={time} (now={self._now})"
+            )
+        event = make_event(time, callback, args=args, priority=priority,
+                           label=label, seq=next(self._seq))
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = EventPriority.ACTION,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of true time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} for event {label!r}")
+        return self.schedule_at(self._now + delay, callback, args=args,
+                                priority=priority, label=label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event's timestamp exceeds
+            ``until`` and advance ``now`` to exactly ``until``.
+        max_events:
+            Safety valve for tests: stop after this many events.
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._heap, event)
+                    break
+                self._now = max(self._now, event.time)
+                event.fire()
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> Optional[Event]:
+        """Execute exactly one live event and return it (``None`` if drained)."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = max(self._now, event.time)
+        event.fire()
+        self.events_executed += 1
+        return event
+
+    def stop(self) -> None:
+        """Request that a currently-executing :meth:`run` stop after the
+        current event finishes.  Queued events remain queued."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,134 @@
+"""Lightweight statistics collectors used across experiments.
+
+No numpy dependency here on purpose: the collectors are updated on hot
+simulation paths, and Welford accumulation in plain Python is both fast
+enough and exact for the sample sizes involved.  The experiment layer
+converts the results to whatever the reporting needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+
+class RunningStat:
+    """Streaming mean / variance / extrema (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the statistic."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another statistic in (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self._mean, self._m2 = other.count, other._mean, other._m2
+            self.minimum, self.maximum = other.minimum, other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)  # type: ignore[type-var]
+        self.maximum = max(self.maximum, other.maximum)  # type: ignore[type-var]
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.stdev / math.sqrt(self.count) if self.count else 0.0
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of a normal-approximation confidence interval."""
+        return z * self.stderr
+
+
+class TimeWeightedValue:
+    """Integrates a piecewise-constant signal over simulated time.
+
+    Used for metrics such as "fraction of time the dirty bit was set"
+    or "fraction of time spent blocked".
+    """
+
+    def __init__(self, initial: float, at: float) -> None:
+        self._value = initial
+        self._since = at
+        self._integral = 0.0
+        self._origin = at
+
+    @property
+    def value(self) -> float:
+        """Current value of the signal."""
+        return self._value
+
+    def set(self, value: float, at: float) -> None:
+        """Change the signal value at time ``at``."""
+        self._integral += self._value * (at - self._since)
+        self._value = value
+        self._since = at
+
+    def integral(self, until: float) -> float:
+        """Integral of the signal from creation until ``until``."""
+        return self._integral + self._value * (until - self._since)
+
+    def mean(self, until: float) -> float:
+        """Time-average of the signal from creation until ``until``."""
+        span = until - self._origin
+        return self.integral(until) / span if span > 0 else self._value
+
+
+@dataclasses.dataclass
+class CounterSet:
+    """A named bag of integer counters."""
+
+    counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        """Increment ``name`` by ``by``."""
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never bumped)."""
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of all counters."""
+        return dict(self.counts)
+
+
+def summarize(values: List[float]) -> RunningStat:
+    """Build a :class:`RunningStat` from a list in one call."""
+    stat = RunningStat()
+    for v in values:
+        stat.add(v)
+    return stat

@@ -1,0 +1,96 @@
+"""Base class for simulated processes.
+
+:class:`SimProcess` wires a process into the substrate: it registers a
+network endpoint whose liveness follows the hosting node, and exposes
+overridable hooks for message delivery, acknowledgements, and node
+crash/restart.  Protocol behaviour lives in subclasses (see
+:class:`repro.host.FtProcess`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import NodeCrashedError
+from ..messages.message import Message
+from ..types import ProcessId
+from .network import Endpoint, Network, Transmission
+from .node import Node
+from .trace import TraceRecorder
+
+
+class SimProcess:
+    """A process hosted on a :class:`~repro.sim.node.Node`.
+
+    Subclasses override :meth:`handle_message`, :meth:`handle_ack`,
+    :meth:`on_node_crash` and :meth:`on_node_restart`.
+    """
+
+    def __init__(self, process_id: ProcessId, node: Node, network: Network,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.process_id = process_id
+        self.node = node
+        self.network = network
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        network.register(Endpoint(
+            process_id=process_id,
+            deliver=self._deliver,
+            on_ack=self._ack,
+            is_alive=lambda: not node.crashed,
+        ))
+        node.on_crash(lambda _n: self.on_node_crash())
+        node.on_restart(lambda _n: self.on_node_restart())
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        """The simulator the hosting node lives on."""
+        return self.node.sim
+
+    @property
+    def alive(self) -> bool:
+        """Whether the hosting node is up."""
+        return not self.node.crashed
+
+    def transmit(self, message: Message) -> Transmission:
+        """Put a message on the wire (refused while crashed)."""
+        if self.node.crashed:
+            raise NodeCrashedError(
+                f"{self.process_id} cannot send while {self.node.node_id} is down")
+        self.trace.record(self.sim.now, "message.send", self.process_id,
+                          desc=message.describe(), msg_id=message.msg_id)
+        return self.network.send(message)
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> Optional[bool]:
+        """Process a delivered message.  Subclasses override.
+
+        Return ``False`` to *reject* the delivery: the network will not
+        acknowledge it, leaving it in the sender's unacknowledged set.
+        Any other return value counts as accepted.
+        """
+        return True
+
+    def handle_ack(self, msg_id: int) -> None:
+        """Process a network acknowledgement.  Subclasses override."""
+
+    def on_node_crash(self) -> None:
+        """Called when the hosting node crashes.  Subclasses override."""
+
+    def on_node_restart(self) -> None:
+        """Called when the hosting node restarts.  Subclasses override."""
+
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> Optional[bool]:
+        if self.node.crashed:
+            return False
+        self.trace.record(self.sim.now, "message.deliver", self.process_id,
+                          desc=message.describe(), msg_id=message.msg_id)
+        return self.handle_message(message)
+
+    def _ack(self, msg_id: int) -> None:
+        if self.node.crashed:
+            return
+        self.handle_ack(msg_id)

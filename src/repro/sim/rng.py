@@ -1,0 +1,57 @@
+"""Seeded random-number streams.
+
+Every stochastic component of a simulation (network delay, workload
+inter-arrival times, clock drift draws, fault injection) pulls from its
+own named stream derived from a single master seed.  This gives two
+properties the experiments rely on:
+
+* **Reproducibility** — the same master seed always produces the same
+  run, regardless of how many components exist.
+* **Variance isolation** — changing one parameter (say, the internal
+  message rate) does not perturb the random draws of unrelated
+  components, which sharpens paired comparisons such as
+  E[D_co] vs E[D_wt] in Figure 7.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a stream name.
+
+    Uses SHA-256 so the mapping is stable across Python versions and
+    platforms (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A factory of named, independently-seeded :class:`random.Random` streams.
+
+    >>> reg = RngRegistry(master_seed=42)
+    >>> a = reg.stream("network")
+    >>> b = reg.stream("workload.P2")
+    >>> a is reg.stream("network")
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the stream called ``name``."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.master_seed, name))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Return a new registry whose master seed is derived from this
+        registry's seed and ``name`` — used to give each replication of
+        an experiment campaign its own independent universe."""
+        return RngRegistry(derive_seed(self.master_seed, f"fork:{name}"))

@@ -1,0 +1,108 @@
+"""Volatile (RAM) and stable (disk) checkpoint stores.
+
+The MDCD protocol keeps exactly one volatile checkpoint per process
+("a process keeps only its most recent checkpoint in volatile storage",
+paper footnote 1); a node crash wipes volatile storage.  Stable storage
+survives crashes and retains a short history of checkpoint epochs so
+that hardware recovery can fall back to the last *complete* global line
+even if a crash interrupts an establishment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..checkpoint import Checkpoint
+from ..errors import StorageError
+from ..types import ProcessId
+
+
+class VolatileStore:
+    """Per-node RAM checkpoint store — most-recent-only, crash-erasable."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[ProcessId, Checkpoint] = {}
+        #: Number of checkpoints saved over the store's lifetime.
+        self.saves: int = 0
+        #: Total pickled bytes written (a performance-cost proxy).
+        self.bytes_written: int = 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Replace the owner's volatile checkpoint with ``checkpoint``."""
+        self._latest[checkpoint.process_id] = checkpoint
+        self.saves += 1
+        self.bytes_written += checkpoint.size_bytes
+
+    def load(self, process_id: ProcessId) -> Checkpoint:
+        """The most recent volatile checkpoint of ``process_id``.
+
+        Raises :class:`~repro.errors.StorageError` if there is none
+        (e.g. after a crash erased it).
+        """
+        try:
+            return self._latest[process_id]
+        except KeyError:
+            raise StorageError(f"no volatile checkpoint for {process_id}") from None
+
+    def peek(self, process_id: ProcessId) -> Optional[Checkpoint]:
+        """Like :meth:`load` but returns ``None`` instead of raising."""
+        return self._latest.get(process_id)
+
+    def erase(self) -> None:
+        """Wipe the store — models the loss of RAM on a node crash."""
+        self._latest.clear()
+
+
+class StableStore:
+    """Per-node disk checkpoint store with bounded epoch history.
+
+    ``write_latency`` models the wall-clock cost of writing a snapshot;
+    the TB protocols' blocking periods overlap this write (paper
+    Section 2.2), so the protocol engines read the attribute when
+    sequencing establishment completion.
+    """
+
+    def __init__(self, history: int = 2, write_latency: float = 0.05) -> None:
+        if history < 1:
+            raise StorageError("stable store must retain at least one checkpoint")
+        self._history = history
+        self._chain: Dict[ProcessId, List[Checkpoint]] = {}
+        self.write_latency = write_latency
+        self.saves: int = 0
+        #: Total pickled bytes written (a performance-cost proxy).
+        self.bytes_written: int = 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Append a completed stable checkpoint, trimming old epochs."""
+        chain = self._chain.setdefault(checkpoint.process_id, [])
+        chain.append(checkpoint)
+        del chain[:-self._history]
+        self.saves += 1
+        self.bytes_written += checkpoint.size_bytes
+
+    def latest(self, process_id: ProcessId) -> Checkpoint:
+        """Most recent completed stable checkpoint of ``process_id``."""
+        chain = self._chain.get(process_id)
+        if not chain:
+            raise StorageError(f"no stable checkpoint for {process_id}")
+        return chain[-1]
+
+    def peek(self, process_id: ProcessId) -> Optional[Checkpoint]:
+        """Like :meth:`latest` but returns ``None`` instead of raising."""
+        chain = self._chain.get(process_id)
+        return chain[-1] if chain else None
+
+    def at_epoch(self, process_id: ProcessId, epoch: int) -> Optional[Checkpoint]:
+        """The retained checkpoint of ``process_id`` for ``epoch``, if any."""
+        for ckpt in reversed(self._chain.get(process_id, [])):
+            if ckpt.epoch == epoch:
+                return ckpt
+        return None
+
+    def epochs(self, process_id: ProcessId) -> List[int]:
+        """Retained epoch numbers for ``process_id`` (ascending)."""
+        return [c.epoch for c in self._chain.get(process_id, []) if c.epoch is not None]
+
+    def history(self, process_id: ProcessId) -> List[Checkpoint]:
+        """All retained checkpoints of ``process_id`` (oldest first)."""
+        return list(self._chain.get(process_id, []))

@@ -1,0 +1,113 @@
+"""Structured trace recording.
+
+Every interesting protocol action — checkpoint establishment, blocking
+window boundaries, acceptance tests, message sends/deliveries,
+recoveries, faults — is recorded as a :class:`TraceRecord`.  The
+scenario reproductions of the paper's figures are assertions over these
+traces, and the figure benches render them as timelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..types import ProcessId
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    ``category`` is a dotted topic such as ``"checkpoint.volatile"``,
+    ``"checkpoint.stable"``, ``"blocking.start"``, ``"at.pass"``,
+    ``"recovery.software"``, ``"fault.crash"``; ``data`` carries
+    category-specific fields.
+    """
+
+    time: float
+    category: str
+    process: Optional[ProcessId]
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def matches(self, category: Optional[str] = None,
+                process: Optional[ProcessId] = None) -> bool:
+        """Prefix-match on category, exact match on process."""
+        if category is not None and not self.category.startswith(category):
+            return False
+        if process is not None and self.process != process:
+            return False
+        return True
+
+
+class TraceRecorder:
+    """Append-only trace sink with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str,
+               process: Optional[ProcessId] = None, **data: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time=time, category=category,
+                                         process=process, data=data))
+
+    # ------------------------------------------------------------------
+    def records(self, category: Optional[str] = None,
+                process: Optional[ProcessId] = None,
+                since: Optional[float] = None,
+                until: Optional[float] = None) -> List[TraceRecord]:
+        """Filtered view of the trace (category is a prefix match)."""
+        out = []
+        for rec in self._records:
+            if not rec.matches(category, process):
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            out.append(rec)
+        return out
+
+    def last(self, category: Optional[str] = None,
+             process: Optional[ProcessId] = None) -> Optional[TraceRecord]:
+        """Most recent matching record, or ``None``."""
+        for rec in reversed(self._records):
+            if rec.matches(category, process):
+                return rec
+        return None
+
+    def count(self, category: Optional[str] = None,
+              process: Optional[ProcessId] = None) -> int:
+        """Number of matching records."""
+        return sum(1 for rec in self._records if rec.matches(category, process))
+
+    def categories(self) -> List[str]:
+        """Sorted distinct categories present in the trace."""
+        return sorted({rec.category for rec in self._records})
+
+    def timeline(self, categories: Iterable[str],
+                 formatter: Optional[Callable[[TraceRecord], str]] = None) -> List[str]:
+        """Human-readable timeline lines for the given category prefixes."""
+        prefixes = tuple(categories)
+        fmt = formatter or self._default_format
+        lines = []
+        for rec in self._records:
+            if any(rec.category.startswith(p) for p in prefixes):
+                lines.append(fmt(rec))
+        return lines
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @staticmethod
+    def _default_format(rec: TraceRecord) -> str:
+        who = f" {rec.process}" if rec.process else ""
+        extras = " ".join(f"{k}={v}" for k, v in sorted(rec.data.items()))
+        return f"t={rec.time:10.4f}{who:>8} {rec.category:24s} {extras}"

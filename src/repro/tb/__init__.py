@@ -1,0 +1,29 @@
+"""The time-based (TB) checkpointing protocol family.
+
+``original`` is the Neves-Fuchs protocol (paper Section 2.2);
+``adapted`` is the coordination-aware version (Section 4.2, Fig. 5);
+``blocking`` holds the Table 1 blocking-period formulas; ``resync`` the
+timer resynchronization service; ``hardware_recovery`` the global
+rollback coordinator.
+"""
+
+from .adapted import AdaptedTbEngine
+from .base import PendingEstablishment, TbEngineBase
+from .blocking import TbConfig, blocking_period, message_delay_term, worst_case_blocking
+from .hardware_recovery import HardwareRecoveryCoordinator, RollbackRecord
+from .original import OriginalTbEngine
+from .resync import ResyncService
+
+__all__ = [
+    "AdaptedTbEngine",
+    "HardwareRecoveryCoordinator",
+    "OriginalTbEngine",
+    "PendingEstablishment",
+    "ResyncService",
+    "RollbackRecord",
+    "TbConfig",
+    "TbEngineBase",
+    "blocking_period",
+    "message_delay_term",
+    "worst_case_blocking",
+]

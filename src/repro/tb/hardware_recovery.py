@@ -1,0 +1,153 @@
+"""Hardware error recovery for the TB protocols.
+
+When a node fails and restarts, *all* processes roll back to their
+stable-storage checkpoints (paper Sections 2.2/3): the coordinator picks
+the most recent epoch every process has completed (the recovery line),
+restores each process from its checkpoint of that epoch, bumps the
+recovery incarnation (fencing pre-crash in-flight traffic), re-sends
+every message the restored states record as unacknowledged, and re-arms
+the TB engines at the line's epoch.
+
+Rollback distances — the Fig. 7 metric — are recorded per process per
+recovery and exposed for the experiment layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..checkpoint import Checkpoint
+from ..errors import RecoveryError
+from ..sim.node import Node
+from ..sim.trace import TraceRecorder
+from ..types import ProcessId
+
+
+@dataclasses.dataclass(frozen=True)
+class RollbackRecord:
+    """One process's rollback in one hardware recovery."""
+
+    time: float
+    process_id: ProcessId
+    distance: float
+    epoch: int
+    crashed_node: str
+
+
+class HardwareRecoveryCoordinator:
+    """Runs the global rollback after every node restart.
+
+    Parameters
+    ----------
+    processes:
+        All :class:`~repro.host.FtProcess` instances of the system
+        (deposed processes are skipped at recovery time).
+    incarnation:
+        The shared recovery incarnation counter.
+    """
+
+    def __init__(self, processes: List, incarnation,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.processes = list(processes)
+        self.incarnation = incarnation
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Every rollback performed, in order.
+        self.records: List[RollbackRecord] = []
+        #: Number of hardware recoveries executed.
+        self.recoveries = 0
+
+    def install(self) -> None:
+        """Subscribe to restarts of every distinct node."""
+        seen = set()
+        for proc in self.processes:
+            node = proc.node
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node.on_restart(self._on_restart)
+
+    # ------------------------------------------------------------------
+    def _on_restart(self, node: Node) -> None:
+        self.recover_all(crashed_node=str(node.node_id))
+
+    def recover_all(self, crashed_node: str = "?") -> None:
+        """Roll every in-service process back to the recovery line."""
+        active = [p for p in self.processes if not p.deposed]
+        if not active:
+            return
+        line = self._recovery_line(active)
+        sim = active[0].sim
+        self.recoveries += 1
+        self.trace.record(sim.now, "recovery.hardware.start", None,
+                          epoch=line, crashed=crashed_node)
+        # Fence first: every re-executed or re-sent message must carry
+        # the new incarnation, and every pre-crash in-flight delivery
+        # must be rejected.
+        self.incarnation.bump()
+        restored: List = []
+        for proc in active:
+            checkpoint = self._line_checkpoint(proc, line)
+            distance = proc.restore_from(checkpoint, "hardware")
+            self.records.append(RollbackRecord(
+                time=sim.now, process_id=proc.process_id, distance=distance,
+                epoch=line, crashed_node=crashed_node))
+            restored.append((proc, checkpoint))
+        # Re-align the TB engines before resending: resends piggyback
+        # the post-recovery Ndc.
+        for proc, _ckpt in restored:
+            if proc.hardware is not None:
+                proc.hardware.reset_after_recovery(line)
+        for proc, _ckpt in restored:
+            for message in proc.acks.unacknowledged():
+                receiver = self._find(message.receiver)
+                if receiver is not None and receiver.deposed:
+                    proc.acks.acked(message.msg_id)
+                    continue
+                proc.resend(message)
+            proc.driver.resume()
+        self.trace.record(sim.now, "recovery.hardware.done", None, epoch=line)
+
+    # ------------------------------------------------------------------
+    def _recovery_line(self, active: List) -> int:
+        epochs = []
+        for proc in active:
+            latest = proc.node.stable.peek(proc.process_id)
+            if latest is None or latest.epoch is None:
+                raise RecoveryError(
+                    f"{proc.process_id} has no stable checkpoint (no genesis?)")
+            epochs.append(latest.epoch)
+        return min(epochs)
+
+    def _line_checkpoint(self, proc, line: int) -> Checkpoint:
+        checkpoint = proc.node.stable.at_epoch(proc.process_id, line)
+        if checkpoint is None:
+            # The line epoch fell out of this process's retained history
+            # (possible only after pathological epoch divergence); fall
+            # back to its oldest retained checkpoint, which is the most
+            # conservative state available.
+            history = proc.node.stable.history(proc.process_id)
+            if not history:
+                raise RecoveryError(f"{proc.process_id} has no stable checkpoints")
+            proc.counters.bump("recovery.line_fallback")
+            checkpoint = history[0]
+        return checkpoint
+
+    def _find(self, process_id: ProcessId):
+        for proc in self.processes:
+            if proc.process_id == process_id:
+                return proc
+        return None
+
+    # ------------------------------------------------------------------
+    def distances(self, process_id: Optional[ProcessId] = None) -> List[float]:
+        """Rollback distances recorded so far (optionally one process)."""
+        return [r.distance for r in self.records
+                if process_id is None or r.process_id == process_id]
+
+    def distances_by_process(self) -> Dict[ProcessId, List[float]]:
+        """Distances grouped by process."""
+        out: Dict[ProcessId, List[float]] = {}
+        for rec in self.records:
+            out.setdefault(rec.process_id, []).append(rec.distance)
+        return out

@@ -1,0 +1,81 @@
+"""Unit tests for the dependability model."""
+
+import pytest
+
+from repro.analysis.dependability import (
+    FaultLoad,
+    goodput,
+    goodput_comparison,
+    loss_rate,
+    measure_goodput,
+)
+from repro.analysis.model import ModelParams
+from repro.app.faults import HardwareFaultPlan
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.errors import ConfigurationError
+
+
+class TestFaultLoad:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FaultLoad(hw_rate=-1.0)
+
+    def test_defaults_to_no_faults(self):
+        assert loss_rate(FaultLoad(), e_hw_rollback=100.0) == 0.0
+
+
+class TestLossAndGoodput:
+    def test_hardware_term(self):
+        load = FaultLoad(hw_rate=0.001, repair_time=5.0)
+        assert loss_rate(load, e_hw_rollback=95.0) == pytest.approx(0.1)
+
+    def test_software_term(self):
+        load = FaultLoad(sw_rate=0.001, sw_detection_latency=30.0,
+                         sw_rollback=20.0)
+        assert loss_rate(load, e_hw_rollback=0.0) == pytest.approx(0.05)
+
+    def test_goodput_complements_loss(self):
+        load = FaultLoad(hw_rate=0.001, repair_time=5.0)
+        assert goodput(load, 95.0) == pytest.approx(0.9)
+
+    def test_goodput_clamped_at_zero(self):
+        load = FaultLoad(hw_rate=1.0, repair_time=10.0)
+        assert goodput(load, 100.0) == 0.0
+
+    def test_comparison_favours_coordination(self):
+        params = ModelParams(internal_rate1=0.001, external_rate1=0.01,
+                             internal_rate2=0.001, external_rate2=0.002,
+                             tb_interval=6.0)
+        load = FaultLoad(hw_rate=1.0 / 400.0, repair_time=5.0)
+        result = goodput_comparison(params, load)
+        assert result["coordinated"] > result["write-through"]
+        assert result["goodput_gain"] > 0
+
+
+class TestMeasuredGoodput:
+    def test_fault_free_run_is_near_one(self):
+        system = build_system(SystemConfig(scheme=Scheme.COORDINATED,
+                                           seed=3, horizon=500.0))
+        system.run()
+        assert measure_goodput(system, 500.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_crash_costs_repair_plus_rollback(self):
+        horizon = 500.0
+        system = build_system(SystemConfig(scheme=Scheme.COORDINATED,
+                                           seed=3, horizon=horizon))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=250.0,
+                                              repair_time=10.0))
+        system.run()
+        measured = measure_goodput(system, horizon)
+        total_rolled = sum(system.hw_recovery.distances())
+        # Survivors lose only their rollback; the crashed node loses its
+        # rollback (measured to the crash) plus the 10 s outage.
+        expected = 1.0 - (total_rolled + 10.0) / (3 * horizon)
+        assert measured == pytest.approx(expected, abs=0.01)
+
+    def test_empty_system_is_zero(self):
+        system = build_system(SystemConfig(seed=1, horizon=10.0))
+        system.run()
+        for proc in system.process_list():
+            proc.deposed = True
+        assert measure_goodput(system, 10.0) == 0.0

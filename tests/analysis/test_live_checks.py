@@ -1,0 +1,46 @@
+"""Tests for the live-state (non-checkpoint) audit."""
+
+import random
+
+from repro.analysis import check_live_system
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+
+
+def make_system(seed=4, horizon=2000.0, scheme=Scheme.COORDINATED):
+    return build_system(SystemConfig(scheme=scheme, seed=seed, horizon=horizon))
+
+
+class TestLiveAudit:
+    def test_clean_at_random_instants(self):
+        system = make_system()
+        system.start()
+        rng = random.Random(9)
+        for _ in range(10):
+            system.run(until=system.sim.now + rng.uniform(20.0, 250.0))
+            assert check_live_system(system) == []
+
+    def test_clean_right_after_recoveries(self):
+        system = make_system(horizon=4000.0)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=2500.0,
+                                              repair_time=2.0))
+        system.run(until=2600.0)
+        assert system.hw_recovery.recoveries == 1
+        assert check_live_system(system) == []
+        system.run()
+        assert check_live_system(system) == []
+
+    def test_detects_planted_ground_truth_violation(self):
+        system = make_system()
+        system.run(until=500.0)
+        # Plant: contaminate the peer while its dirty bit claims clean.
+        system.peer.component.state.corrupt = True
+        system.peer.mdcd.dirty_bit = 0
+        violations = check_live_system(system)
+        assert any(v.kind == "undetected-contamination" for v in violations)
+
+    def test_mdcd_only_scheme_also_clean(self):
+        system = make_system(scheme=Scheme.MDCD_ONLY)
+        system.run(until=1500.0)
+        assert check_live_system(system) == []

@@ -1,0 +1,52 @@
+"""Unit tests for rollback-distance aggregation."""
+
+from repro.analysis.rollback import (
+    hardware_rollback_distances,
+    per_process_rollback_stats,
+    rollback_stat,
+    software_rollback_distances,
+)
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+
+
+def run_with_faults(seed=5, horizon=3000.0):
+    system = build_system(SystemConfig(scheme=Scheme.COORDINATED, seed=seed,
+                                       horizon=horizon))
+    system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1000.0,
+                                          repair_time=1.0))
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=2000.0))
+    system.run()
+    return system
+
+
+class TestExtraction:
+    def test_hardware_distances_match_coordinator(self):
+        system = run_with_faults()
+        from_trace = hardware_rollback_distances(system.trace)
+        from_coordinator = system.hw_recovery.distances()
+        assert sorted(from_trace) == sorted(from_coordinator)
+
+    def test_per_process_filter(self):
+        system = run_with_faults()
+        peer_only = hardware_rollback_distances(system.trace,
+                                                system.peer.process_id)
+        assert len(peer_only) == 1
+
+    def test_software_distances_recorded_on_takeover(self):
+        system = run_with_faults()
+        assert system.sw_recovery.completed
+        distances = software_rollback_distances(system.trace)
+        assert len(distances) == len(system.sw_recovery.distances)
+
+    def test_rollback_stat_aggregates(self):
+        system = run_with_faults()
+        stat = rollback_stat(system, "hardware")
+        assert stat.count == 3
+        assert stat.mean >= 0
+
+    def test_per_process_stats(self):
+        system = run_with_faults()
+        stats = per_process_rollback_stats(system, "hardware")
+        assert len(stats) == 3
+        assert all(s.count == 1 for s in stats.values())

@@ -1,0 +1,112 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.app.faults import (
+    HardwareFaultInjector,
+    HardwareFaultPlan,
+    SoftwareFaultInjector,
+    SoftwareFaultPlan,
+    poisson_crash_plan,
+)
+from repro.app.versions import LowConfidenceVersion
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+
+
+class TestSoftwareFaultPlan:
+    def test_rejects_negative_activation(self):
+        with pytest.raises(ConfigurationError):
+            SoftwareFaultPlan(activate_at=-1.0)
+
+    def test_rejects_deactivation_before_activation(self):
+        with pytest.raises(ConfigurationError):
+            SoftwareFaultPlan(activate_at=5.0, deactivate_at=4.0)
+
+
+class TestSoftwareInjector:
+    def test_activates_at_time(self, sim):
+        version = LowConfidenceVersion()
+        injector = SoftwareFaultInjector(sim, version,
+                                         SoftwareFaultPlan(activate_at=10.0))
+        injector.arm()
+        sim.run(until=9.0)
+        assert not version.fault_active
+        sim.run()
+        assert version.fault_active
+        assert injector.activated
+
+    def test_transient_window_deactivates(self, sim):
+        version = LowConfidenceVersion()
+        SoftwareFaultInjector(sim, version,
+                              SoftwareFaultPlan(activate_at=5.0,
+                                                deactivate_at=8.0)).arm()
+        sim.run(until=6.0)
+        assert version.fault_active
+        sim.run()
+        assert not version.fault_active
+
+    def test_traces_activation(self, sim, trace):
+        version = LowConfidenceVersion()
+        SoftwareFaultInjector(sim, version,
+                              SoftwareFaultPlan(activate_at=1.0), trace).arm()
+        sim.run()
+        assert trace.count("fault.software.activate") == 1
+
+
+class TestHardwareFaultPlan:
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            HardwareFaultPlan(node_id="N", crash_at=-1.0)
+        with pytest.raises(ConfigurationError):
+            HardwareFaultPlan(node_id="N", crash_at=1.0, repair_time=-1.0)
+
+
+class TestHardwareInjector:
+    def test_wrong_node_rejected(self, sim, make_node):
+        node = make_node("N1")
+        with pytest.raises(ConfigurationError):
+            HardwareFaultInjector(sim, node,
+                                  HardwareFaultPlan(node_id="other", crash_at=1.0))
+
+    def test_crash_and_restart_cycle(self, sim, make_node):
+        node = make_node("N1")
+        HardwareFaultInjector(sim, node,
+                              HardwareFaultPlan(node_id="N1", crash_at=2.0,
+                                                repair_time=3.0)).arm()
+        sim.run(until=2.5)
+        assert node.crashed
+        sim.run()
+        assert not node.crashed
+
+    def test_traces_crash_and_restart(self, sim, make_node, trace):
+        node = make_node("N1")
+        HardwareFaultInjector(sim, node,
+                              HardwareFaultPlan(node_id="N1", crash_at=1.0,
+                                                repair_time=1.0), trace).arm()
+        sim.run()
+        assert trace.count("fault.crash") == 1
+        assert trace.count("fault.restart") == 1
+
+
+class TestPoissonCrashPlan:
+    def test_zero_rate_gives_no_crashes(self):
+        rng = RngRegistry(1).stream("c")
+        assert poisson_crash_plan(0.0, 1000.0, ["N1"], rng) == []
+
+    def test_negative_rate_rejected(self):
+        rng = RngRegistry(1).stream("c")
+        with pytest.raises(ConfigurationError):
+            poisson_crash_plan(-1.0, 1000.0, ["N1"], rng)
+
+    def test_plans_within_horizon_on_known_nodes(self):
+        rng = RngRegistry(1).stream("c")
+        plans = poisson_crash_plan(0.01, 5000.0, ["N1", "N2"], rng)
+        assert plans
+        assert all(0 <= p.crash_at < 5000.0 for p in plans)
+        assert all(p.node_id in ("N1", "N2") for p in plans)
+
+    def test_rate_roughly_matches(self):
+        rng = RngRegistry(3).stream("c")
+        plans = poisson_crash_plan(0.01, 50_000.0, ["N1"], rng)
+        assert 350 < len(plans) < 650  # ~500 expected

@@ -1,0 +1,62 @@
+"""Unit tests for software versions and design-fault behaviour."""
+
+from repro.app.component import AppState
+from repro.app.versions import HighConfidenceVersion, LowConfidenceVersion
+
+
+class TestHighConfidence:
+    def test_never_corrupts_clean_state(self):
+        version = HighConfidenceVersion("good")
+        state = AppState()
+        payload = version.compute(state, 7)
+        assert not payload.corrupt
+        assert not state.corrupt
+
+    def test_propagates_existing_contamination(self):
+        version = HighConfidenceVersion("good")
+        state = AppState(corrupt=True)
+        assert version.compute(state, 7).corrupt
+
+
+class TestLowConfidence:
+    def test_correct_until_activated(self):
+        low = LowConfidenceVersion()
+        high = HighConfidenceVersion("ref")
+        state_low, state_high = AppState(), AppState()
+        assert low.compute(state_low, 5).value == high.compute(state_high, 5).value
+        assert not state_low.corrupt
+
+    def test_activation_perturbs_and_contaminates(self):
+        low = LowConfidenceVersion()
+        reference = HighConfidenceVersion("ref")
+        low.fault_active = True
+        state = AppState()
+        ref_state = AppState()
+        payload = low.compute(state, 5)
+        assert payload.corrupt
+        assert payload.value != reference.compute(ref_state, 5).value
+        assert state.corrupt
+
+    def test_fault_count_tracks_faulty_computes(self):
+        low = LowConfidenceVersion()
+        low.fault_active = True
+        state = AppState()
+        low.compute(state, 1)
+        low.compute(state, 2)
+        assert low.fault_count == 2
+
+    def test_fault_lives_in_code_not_state(self):
+        # Restoring a pre-fault state snapshot does not deactivate the
+        # defect: the next computation is faulty again.
+        low = LowConfidenceVersion()
+        clean_state = AppState()
+        low.fault_active = True
+        restored = AppState()  # as if rolled back
+        assert low.compute(restored, 3).corrupt
+
+    def test_deactivation_restores_correctness(self):
+        low = LowConfidenceVersion()
+        low.fault_active = True
+        low.fault_active = False
+        state = AppState()
+        assert not low.compute(state, 3).corrupt

@@ -1,0 +1,66 @@
+"""Unit tests for the write-through baseline."""
+
+from repro.app.faults import HardwareFaultPlan
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+
+
+def build(seed=6, horizon=3000.0, external_rate=0.01):
+    config = SystemConfig(
+        scheme=Scheme.WRITE_THROUGH, seed=seed, horizon=horizon,
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=external_rate,
+                                 step_rate=0.01, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.02, external_rate=external_rate,
+                                 step_rate=0.01, horizon=horizon))
+    return build_system(config)
+
+
+class TestStableSaves:
+    def test_saves_track_validation_events(self):
+        system = build()
+        system.run()
+        validations = (system.active.counters.get("at.pass")
+                       + system.peer.counters.get("at.pass"))
+        assert validations > 5
+        # Every process saves at every validation event (its own AT or
+        # a received notification); epochs stay aligned.
+        ndcs = {p.hardware.ndc for p in system.process_list()}
+        assert max(ndcs) - min(ndcs) <= 1
+        assert system.peer.hardware.ndc >= validations - 1
+
+    def test_never_blocks(self):
+        system = build()
+        system.run()
+        for proc in system.process_list():
+            assert proc.counters.get("blocked.deferred_send") == 0
+            assert not proc.hardware.in_blocking
+
+    def test_save_frequency_scales_with_external_rate(self):
+        sparse = build(external_rate=0.002)
+        sparse.run()
+        dense = build(external_rate=0.02)
+        dense.run()
+        assert dense.peer.hardware.ndc > 2 * sparse.peer.hardware.ndc
+
+
+class TestRecovery:
+    def test_crash_recovers_from_validation_checkpoint(self):
+        system = build()
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1500.0,
+                                              repair_time=1.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 1
+        distances = system.hw_recovery.distances()
+        assert len(distances) == 3
+        assert all(d >= 0 for d in distances)
+
+    def test_rollback_distance_set_by_validation_gap(self):
+        # Rarer validations -> larger expected write-through rollback.
+        sparse = build(external_rate=0.002, seed=8)
+        sparse.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=2000.0))
+        sparse.run()
+        dense = build(external_rate=0.05, seed=8)
+        dense.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=2000.0))
+        dense.run()
+        assert (sum(sparse.hw_recovery.distances())
+                > sum(dense.hw_recovery.distances()))

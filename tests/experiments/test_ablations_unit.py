@@ -1,0 +1,39 @@
+"""Unit-level smoke tests for the ablation harnesses (the full runs
+live in benchmarks/bench_ablations.py)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationRow,
+    ablate_at_coverage,
+    ablate_blocking,
+    ablate_interval,
+    format_ablation,
+)
+from repro.experiments.figure7 import Figure7Config
+
+
+class TestStructures:
+    def test_blocking_rows_shape(self):
+        rows = ablate_blocking(seeds=1, horizon=400.0)
+        assert [r.label for r in rows] == ["blocking on", "blocking off"]
+        assert all("lines" in r.metrics for r in rows)
+
+    def test_coverage_rows_shape(self):
+        rows = ablate_at_coverage(coverages=(1.0,), seeds=1, horizon=1500.0)
+        assert rows[0].label == "coverage 1.0"
+        assert rows[0].metrics["error detected (takeover)"] == 1
+
+    def test_interval_rows_monotone_saves(self):
+        rows = ablate_interval(intervals=(5.0, 20.0),
+                               base=Figure7Config(horizon=8_000.0,
+                                                  replications=1))
+        saves = [r.metrics["stable saves/h (3 procs)"] for r in rows]
+        assert saves[0] > saves[1]
+        assert all(r.metrics["E[D_wt]"] == rows[0].metrics["E[D_wt]"]
+                   for r in rows)
+
+    def test_format_handles_heterogeneous_metrics(self):
+        rows = [AblationRow("a", {"x": 1}), AblationRow("b", {"y": 2})]
+        text = format_ablation("T", rows)
+        assert "T" in text and "x" in text and "y" in text

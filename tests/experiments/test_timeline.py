@@ -1,0 +1,91 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.experiments.timeline import render_timeline
+from repro.types import ProcessId, Role
+
+
+@pytest.fixture(scope="module")
+def systems():
+    out = {}
+    for scheme in (Scheme.MDCD_ONLY, Scheme.COORDINATED):
+        horizon = 2000.0
+        system = build_system(SystemConfig(
+            scheme=scheme, seed=11, horizon=horizon,
+            workload1=WorkloadConfig(internal_rate=0.02, external_rate=0.004,
+                                     step_rate=0.01, horizon=horizon),
+            workload2=WorkloadConfig(internal_rate=0.01, external_rate=0.004,
+                                     step_rate=0.01, horizon=horizon)))
+        system.run()
+        out[scheme] = system
+    return out
+
+
+def lanes(text):
+    out = {}
+    for line in text.splitlines()[1:]:
+        label, _, body = line.partition("|")
+        out[label.strip()] = body.rstrip("|")
+    return out
+
+
+class TestRendering:
+    def test_lane_per_process_and_fixed_width(self, systems):
+        system = systems[Scheme.MDCD_ONLY]
+        text = render_timeline(system.trace,
+                               [p.process_id for p in system.process_list()],
+                               since=100.0, until=1900.0, width=80)
+        body = lanes(text)
+        assert set(body) == {"P1_act", "P1_sdw", "P2"}
+        assert all(len(lane) == 80 for lane in body.values())
+
+    def test_empty_window_rejected(self, systems):
+        system = systems[Scheme.MDCD_ONLY]
+        with pytest.raises(ValueError):
+            render_timeline(system.trace, [], since=5.0, until=5.0)
+
+    def test_fig1_active_fully_contaminated(self, systems):
+        system = systems[Scheme.MDCD_ONLY]
+        text = render_timeline(system.trace,
+                               [p.process_id for p in system.process_list()],
+                               since=100.0, until=1900.0, width=80)
+        active_lane = lanes(text)["P1_act"]
+        assert "░" not in active_lane  # constant suspicion (Fig. 1)
+
+    def test_fig1_type2_marks_present(self, systems):
+        system = systems[Scheme.MDCD_ONLY]
+        text = render_timeline(system.trace,
+                               [p.process_id for p in system.process_list()],
+                               since=100.0, until=1900.0, width=120)
+        assert "2" in lanes(text)["P2"]
+        assert "1" in lanes(text)["P2"]
+
+    def test_fig3_pseudo_view_for_active(self, systems):
+        system = systems[Scheme.COORDINATED]
+        text = render_timeline(system.trace,
+                               [p.process_id for p in system.process_list()],
+                               since=100.0, until=1900.0, width=120,
+                               pseudo_for=ProcessId(Role.ACTIVE_1.value))
+        active_lane = lanes(text)["P1_act"]
+        # The pseudo bit alternates: both shadings appear, plus pseudo
+        # checkpoints and stable establishments; no Type-2 anywhere.
+        assert "░" in active_lane and "▓" in active_lane
+        assert "P" in active_lane
+        assert "S" in active_lane
+        assert "2" not in active_lane
+
+    def test_shading_matches_checkpoint_transitions(self, systems):
+        # A Type-1 mark must sit at a clean->dirty boundary: the cell
+        # after a '1' (skipping other marks) is dirty.
+        system = systems[Scheme.MDCD_ONLY]
+        text = render_timeline(system.trace,
+                               [p.process_id for p in system.process_list()],
+                               since=100.0, until=1900.0, width=160)
+        lane = lanes(text)["P1_sdw"]
+        for i, ch in enumerate(lane):
+            if ch == "1":
+                following = next((c for c in lane[i + 1:] if c in "░▓"), None)
+                assert following in ("▓", None)

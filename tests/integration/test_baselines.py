@@ -1,0 +1,109 @@
+"""Integration tests of the baseline schemes, including the failure
+modes the paper attributes to them."""
+
+from repro.analysis.global_state import common_stable_line
+from repro.analysis.invariants import check_system_line
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.tb.blocking import TbConfig
+
+
+def make_system(scheme, seed=13, horizon=2500.0):
+    return build_system(SystemConfig(
+        scheme=scheme, seed=seed, horizon=horizon,
+        tb=TbConfig(interval=60.0),
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=0.002,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.02, external_rate=0.001,
+                                 step_rate=0.02, horizon=horizon)))
+
+
+class TestMdcdOnly:
+    def test_software_recovery_without_stable_storage(self):
+        system = make_system(Scheme.MDCD_ONLY)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=100.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert not system.peer.component.state.corrupt
+        for proc in system.process_list():
+            assert proc.node.stable.peek(proc.process_id) is None
+
+
+class TestWriteThrough:
+    def test_tolerates_both_fault_classes(self):
+        system = make_system(Scheme.WRITE_THROUGH)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=100.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1500.0,
+                                              repair_time=2.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert system.hw_recovery.recoveries == 1
+        assert not system.peer.component.state.corrupt
+
+    def test_rollback_distance_exceeds_coordinated_in_fig7_regime(self):
+        """In the Figure 7 regime — validations frequent relative to
+        internal messages, TB interval small against the validation gap
+        — write-through undoes much more work per hardware fault.
+        (Outside that regime the gap erodes; see ablation 5.)"""
+        def total_distance(scheme):
+            horizon = 4000.0
+            system = build_system(SystemConfig(
+                scheme=scheme, seed=21, horizon=horizon,
+                tb=TbConfig(interval=8.0),
+                workload1=WorkloadConfig(internal_rate=0.002,
+                                         external_rate=0.05,
+                                         step_rate=0.01, horizon=horizon),
+                workload2=WorkloadConfig(internal_rate=0.001,
+                                         external_rate=0.002,
+                                         step_rate=0.01, horizon=horizon)))
+            for k in range(5):
+                system.inject_crash(HardwareFaultPlan(
+                    node_id=("N1a", "N1b", "N2")[k % 3],
+                    crash_at=600.0 * (k + 1), repair_time=1.0))
+            system.run()
+            assert system.hw_recovery.recoveries == 5
+            return sum(system.hw_recovery.distances())
+
+        assert total_distance(Scheme.WRITE_THROUGH) \
+            > 2.0 * total_distance(Scheme.COORDINATED)
+
+
+class TestNaiveCombination:
+    def test_double_fault_leaves_contamination(self):
+        """The Fig. 4(a) failure, end to end: after a crash restores a
+        contaminated stable state (and volatile storage is gone), the
+        subsequently detected software error cannot be recovered."""
+        system = make_system(Scheme.NAIVE)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=100.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=400.0,
+                                              repair_time=2.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert system.peer.component.state.corrupt
+        assert system.trace.count("recovery.degraded_fallback") > 0
+
+    def test_coordinated_survives_identical_faults(self):
+        system = make_system(Scheme.COORDINATED)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=100.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=400.0,
+                                              repair_time=2.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert not system.peer.component.state.corrupt
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_naive_single_fault_classes_still_work(self):
+        # The naive combination is not broken for *single* fault classes
+        # — the interference needs both (that is the paper's point).
+        crash_only = make_system(Scheme.NAIVE, seed=31)
+        crash_only.inject_crash(HardwareFaultPlan(node_id="N2",
+                                                  crash_at=1200.0))
+        crash_only.run()
+        assert not crash_only.peer.component.state.corrupt
+
+        software_only = make_system(Scheme.NAIVE, seed=32)
+        software_only.inject_software_fault(SoftwareFaultPlan(activate_at=200.0))
+        software_only.run()
+        assert software_only.sw_recovery.completed
+        assert not software_only.peer.component.state.corrupt

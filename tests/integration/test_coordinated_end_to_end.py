@@ -1,0 +1,165 @@
+"""End-to-end integration tests of the coordinated scheme.
+
+These run whole systems over realistic workloads and check the global
+outcomes the paper promises: valid stable lines, clean recovery from
+each fault class alone and in combination, and continued operation
+afterwards.
+"""
+
+import pytest
+
+from repro.analysis.global_state import common_stable_line, live_line, stable_line
+from repro.analysis.invariants import check_ground_truth, check_system_line
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.tb.blocking import TbConfig
+
+
+def make_system(seed=5, horizon=4000.0, scheme=Scheme.COORDINATED,
+                interval=60.0, **extra):
+    config = SystemConfig(
+        scheme=scheme, seed=seed, horizon=horizon,
+        tb=TbConfig(interval=interval),
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=0.01,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.03, external_rate=0.01,
+                                 step_rate=0.02, horizon=horizon),
+        **extra)
+    return build_system(config)
+
+
+class TestFaultFreeOperation:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_stable_lines_valid_across_seeds(self, seed):
+        system = make_system(seed=seed)
+        system.run()
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_no_recoveries_without_faults(self):
+        system = make_system()
+        system.run()
+        assert system.hw_recovery.recoveries == 0
+        assert not system.sw_recovery.completed
+
+    def test_ground_truth_clean_throughout(self):
+        system = make_system()
+        system.run()
+        assert check_ground_truth(live_line(system)) == []
+
+    def test_shadow_mirrors_active(self):
+        system = make_system()
+        system.run()
+        assert (system.shadow.component.state.value
+                == system.active.component.state.value)
+
+
+class TestHardwareFaultsOnly:
+    @pytest.mark.parametrize("node", ["N1a", "N1b", "N2"])
+    def test_single_crash_recovers_any_node(self, node):
+        system = make_system()
+        system.inject_crash(HardwareFaultPlan(node_id=node, crash_at=1500.0,
+                                              repair_time=2.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 1
+        assert check_system_line(common_stable_line(system)) == []
+        for proc in system.process_list():
+            assert not proc.component.state.corrupt
+
+    def test_rollback_bounded_by_interval_plus_contamination(self):
+        system = make_system(interval=60.0)
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1500.0))
+        system.run()
+        for distance in system.hw_recovery.distances():
+            # One interval back, plus at most the current contamination
+            # span (bounded here by the validation gap ~ 1/0.02).
+            assert distance < 60.0 + 300.0
+
+    def test_post_recovery_checkpointing_continues(self):
+        system = make_system()
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=500.0))
+        system.run()
+        final_epochs = [p.hardware.ndc for p in system.process_list()]
+        assert min(final_epochs) > 10
+
+
+class TestSoftwareFaultOnly:
+    def test_takeover_and_clean_continuation(self):
+        system = make_system()
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert system.active.deposed
+        for proc in (system.shadow, system.peer):
+            assert not proc.component.state.corrupt
+        # The device world never saw a corrupt external message (AT
+        # coverage is 1.0).
+        assert all(not m.corrupt for m in system.network.device_log)
+
+    def test_stable_lines_valid_after_takeover(self):
+        system = make_system()
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0))
+        system.run()
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_transient_fault_window_also_recovered(self):
+        system = make_system()
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0,
+                                                       deactivate_at=1100.0))
+        system.run()
+        # Whether or not an AT ran inside the window, ground truth must
+        # be clean at the end for the trusted processes.
+        for proc in (system.shadow, system.peer):
+            assert not proc.component.state.corrupt
+
+
+class TestCombinedFaults:
+    def test_crash_then_software_fault(self):
+        system = make_system(horizon=6000.0)
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1000.0))
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=3000.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 1
+        assert system.sw_recovery.completed
+        for proc in (system.shadow, system.peer):
+            assert not proc.component.state.corrupt
+
+    def test_software_fault_then_crash(self):
+        system = make_system(horizon=6000.0)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1b", crash_at=3500.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert system.hw_recovery.recoveries == 1
+        for proc in (system.shadow, system.peer):
+            assert not proc.component.state.corrupt
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_crash_of_every_node_in_sequence(self):
+        system = make_system(horizon=8000.0)
+        for i, node in enumerate(["N1a", "N1b", "N2"]):
+            system.inject_crash(HardwareFaultPlan(node_id=node,
+                                                  crash_at=1000.0 * (i + 1),
+                                                  repair_time=2.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 3
+        assert check_system_line(common_stable_line(system)) == []
+
+
+class TestEveryEpochAudit:
+    def test_all_retained_lines_valid_under_load(self):
+        system = make_system(seed=11, horizon=3000.0, interval=30.0,
+                             stable_history=200)
+        system.run()
+        common = None
+        for proc in system.process_list():
+            epochs = set(proc.node.stable.epochs(proc.process_id))
+            common = epochs if common is None else common & epochs
+        checked = 0
+        for epoch in sorted(common):
+            line = stable_line(system, epoch=epoch)
+            if len(line) < 3:
+                continue
+            checked += 1
+            assert check_system_line(line) == [], f"epoch {epoch}"
+        assert checked > 50

@@ -1,0 +1,139 @@
+"""Failure-injection hardening: adversarial fault timings and detector
+imperfections that stress the recovery paths' edge cases."""
+
+import pytest
+
+from repro.analysis.global_state import common_stable_line
+from repro.analysis.invariants import check_system_line
+from repro.app.acceptance import AcceptanceTestConfig
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.tb.blocking import TbConfig
+
+
+def make_system(seed=5, horizon=4000.0, at=None, interval=30.0):
+    config = SystemConfig(
+        scheme=Scheme.COORDINATED, seed=seed, horizon=horizon,
+        tb=TbConfig(interval=interval),
+        at=at if at is not None else AcceptanceTestConfig(),
+        workload1=WorkloadConfig(internal_rate=0.05, external_rate=0.01,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.03, external_rate=0.01,
+                                 step_rate=0.02, horizon=horizon))
+    return build_system(config)
+
+
+class TestAdversarialCrashTimings:
+    def test_crash_exactly_at_timer_boundary(self):
+        # Timers expire near multiples of the interval; crash right there.
+        system = make_system(interval=30.0)
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=900.0,
+                                              repair_time=1.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 1
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_crash_during_repair_of_another_node(self):
+        system = make_system()
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=1000.0,
+                                              repair_time=10.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1a", crash_at=1005.0,
+                                              repair_time=10.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 2
+        assert check_system_line(common_stable_line(system)) == []
+        for proc in system.process_list():
+            assert not proc.component.state.corrupt
+
+    def test_rapid_fire_crashes_same_node(self):
+        system = make_system(horizon=6000.0)
+        for k in range(5):
+            system.inject_crash(HardwareFaultPlan(
+                node_id="N2", crash_at=800.0 + 400.0 * k, repair_time=1.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 5
+        assert all(d >= 0 for d in system.hw_recovery.distances())
+
+    def test_crash_immediately_after_software_fault_activation(self):
+        system = make_system()
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=1000.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1a", crash_at=1001.0,
+                                              repair_time=1.0))
+        system.run()
+        # The fault lives in code: rolling the active back does not
+        # remove it, and the AT eventually catches it.
+        assert system.sw_recovery.completed
+        for proc in (system.shadow, system.peer):
+            assert not proc.component.state.corrupt
+
+    def test_crash_of_shadow_node_after_takeover(self):
+        system = make_system(horizon=6000.0)
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=800.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1b", crash_at=4000.0,
+                                              repair_time=1.0))
+        system.run()
+        assert system.sw_recovery.completed
+        assert system.hw_recovery.recoveries == 1
+        # The promoted shadow recovered from its stable checkpoints.
+        assert not system.shadow.component.state.corrupt
+
+
+class TestDetectorImperfections:
+    def test_false_alarm_triggers_benign_takeover(self):
+        system = make_system(at=AcceptanceTestConfig(false_alarm=0.2))
+        system.run()
+        # A false alarm deposes a healthy active — wasteful but safe.
+        if system.sw_recovery.completed:
+            for proc in (system.shadow, system.peer):
+                assert not proc.component.state.corrupt
+        assert all(not m.corrupt for m in system.network.device_log)
+
+    def test_low_coverage_eventually_detects(self):
+        system = make_system(seed=8, horizon=20_000.0,
+                             at=AcceptanceTestConfig(coverage=0.4))
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=2000.0))
+        system.run()
+        # Detection may be delayed (an AT miss lets a corrupt external
+        # escape), but with repeated ATs it happens with overwhelming
+        # probability — and escapes line up exactly with recorded misses.
+        assert system.sw_recovery.completed
+        escaped = sum(1 for m in system.network.device_log if m.corrupt)
+        misses = (system.active.software.at.misses
+                  + system.peer.software.at.misses)
+        assert escaped == misses
+
+    def test_zero_coverage_never_detects(self):
+        system = make_system(at=AcceptanceTestConfig(coverage=0.0))
+        system.inject_software_fault(SoftwareFaultPlan(activate_at=500.0))
+        system.run()
+        assert not system.sw_recovery.completed
+        assert system.peer.component.state.corrupt  # honest worst case
+
+
+class TestDegenerateConfigurations:
+    def test_zero_delay_network(self):
+        from repro.sim.network import NetworkConfig
+        system = build_system(SystemConfig(
+            scheme=Scheme.COORDINATED, seed=3, horizon=500.0,
+            network=NetworkConfig(t_min=0.0, t_max=0.0),
+            tb=TbConfig(interval=20.0)))
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=250.0))
+        system.run()
+        assert system.hw_recovery.recoveries == 1
+
+    def test_perfect_clocks(self):
+        from repro.sim.clock import ClockConfig
+        system = build_system(SystemConfig(
+            scheme=Scheme.COORDINATED, seed=3, horizon=500.0,
+            clock=ClockConfig(delta=0.0, rho=0.0),
+            tb=TbConfig(interval=20.0)))
+        system.run()
+        assert check_system_line(common_stable_line(system)) == []
+
+    def test_tiny_interval_many_epochs(self):
+        system = build_system(SystemConfig(
+            scheme=Scheme.COORDINATED, seed=3, horizon=300.0,
+            tb=TbConfig(interval=1.0)))
+        system.run()
+        assert all(p.hardware.ndc >= 295 for p in system.process_list())

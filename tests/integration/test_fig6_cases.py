@@ -1,0 +1,122 @@
+"""Deterministic constructions of the paper's Fig. 6 configurations.
+
+Fig. 6 shows four timer/dirty-bit configurations of a stable-checkpoint
+establishment under coordination; each case is built here explicitly and
+its contents and line validity asserted.  Case (b) — the mid-blocking
+swap — has its own construction in
+``repro.experiments.scenarios.figure4b_in_transit_notification``.
+"""
+
+import pytest
+
+from repro.analysis.global_state import stable_line
+from repro.analysis.invariants import check_system_line
+from repro.app.workload import Action, ActionKind, WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.sim.clock import ClockConfig
+from repro.tb.blocking import TbConfig
+from repro.types import StableContent
+
+
+def manual_system(seed=2):
+    horizon = 60.0
+    config = SystemConfig(
+        scheme=Scheme.COORDINATED, seed=seed, horizon=horizon,
+        clock=ClockConfig(delta=0.01, rho=1e-6),
+        tb=TbConfig(interval=10.0),
+        workload1=WorkloadConfig(internal_rate=1e-9, external_rate=1e-9,
+                                 step_rate=0.001, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=1e-9, external_rate=1e-9,
+                                 step_rate=0.001, horizon=horizon),
+        stable_history=100)
+    system = build_system(config)
+    system.start()
+    return system
+
+
+def act(kind=ActionKind.SEND_INTERNAL, stimulus=5):
+    return Action(index=10_000_000, kind=kind, gap=0.0, stimulus=stimulus)
+
+
+def run_to_epoch(system, epoch):
+    system.sim.run(until=10.0 * epoch + 2.0)
+    line = stable_line(system, epoch=epoch)
+    assert len(line) == 3
+    return line
+
+
+def content_of(system, proc, epoch):
+    return proc.node.stable.at_epoch(proc.process_id, epoch).content
+
+
+class TestFig6Cases:
+    def test_case_a_peer_dirty_shadow_clean(self):
+        """Fig. 6(a): the shadow saves its current state, the dirty P2
+        copies its volatile checkpoint — and the pair is consistent
+        because both reflect the same validated history."""
+        system = manual_system()
+        # P1_act contaminates P2 only; the shadow hears nothing dirty.
+        system.sim.schedule_at(
+            3.0, lambda: system.active.software.on_send_internal(act()))
+        line = run_to_epoch(system, 1)
+        assert content_of(system, system.shadow, 1) is StableContent.CURRENT_STATE
+        assert content_of(system, system.peer, 1) is StableContent.VOLATILE_COPY
+        assert content_of(system, system.active, 1) is StableContent.VOLATILE_COPY
+        assert check_system_line(line) == []
+        # P2's copied state predates the contamination entirely.
+        peer_view = line[system.peer.process_id]
+        assert peer_view.snapshot.app_state.inputs_applied == 0
+        assert not peer_view.truly_corrupt
+
+    def test_case_c_all_clean_after_validation(self):
+        """Fig. 6(c): a validation before the expiry leaves every
+        process clean; everyone saves the current state (the original
+        TB behaviour)."""
+        system = manual_system()
+        system.sim.schedule_at(
+            3.0, lambda: system.active.software.on_send_internal(act()))
+        system.sim.schedule_at(
+            5.0, lambda: system.active.software.on_send_external(
+                act(kind=ActionKind.SEND_EXTERNAL)))
+        line = run_to_epoch(system, 1)
+        for proc in system.process_list():
+            assert content_of(system, proc, 1) is StableContent.CURRENT_STATE
+        assert check_system_line(line) == []
+        # The peer's saved state reflects the (validated) message.
+        assert line[system.peer.process_id].snapshot.app_state.inputs_applied == 1
+
+    def test_case_d_active_validated_peer_still_dirty(self):
+        """Fig. 6(d)-shaped: the active validated late, P2 contaminated
+        again afterwards — the active saves current state, P2 copies its
+        fresh volatile checkpoint; the line stays valid."""
+        system = manual_system()
+        timeline = [
+            (3.0, lambda: system.active.software.on_send_internal(act())),
+            (5.0, lambda: system.active.software.on_send_external(
+                act(kind=ActionKind.SEND_EXTERNAL))),   # validation
+            (7.0, lambda: system.active.software.on_send_internal(act())),
+        ]
+        for t, fn in timeline:
+            system.sim.schedule_at(t, fn)
+        line = run_to_epoch(system, 1)
+        assert content_of(system, system.active, 1) is StableContent.VOLATILE_COPY
+        assert content_of(system, system.peer, 1) is StableContent.VOLATILE_COPY
+        assert check_system_line(line) == []
+        # Both copied states reflect the validated first message but not
+        # the second (unvalidated) one — the brackets line up.
+        peer_snapshot = line[system.peer.process_id].snapshot
+        active_snapshot = line[system.active.process_id].snapshot
+        assert peer_snapshot.app_state.inputs_applied == 1
+        assert active_snapshot.sn_value == 2  # external counted; sn 3 unsent
+
+    def test_case_b_swap_reference(self):
+        """Fig. 6(b) is exercised by the Fig. 4(b) construction; assert
+        the swap machinery exists and is reachable (the full scenario
+        lives in the experiments package)."""
+        from repro.experiments.scenarios import _run_in_transit_case
+        for seed in range(10):
+            outcome = _run_in_transit_case(swap=True, seed=seed)
+            if outcome is not None and outcome[1].get("swapped"):
+                assert outcome[0]  # line clean with the swap
+                return
+        pytest.fail("no seed produced the swap window")

@@ -1,0 +1,68 @@
+"""Commissioning through the middleware API."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.middleware import ComponentLogic, GsuRuntime, MiddlewareConfig
+from repro.tb.blocking import TbConfig
+from repro.types import Role, StableContent
+
+
+class Chatter(ComponentLogic):
+    def on_start(self, ctx):
+        ctx.state["n"] = 0
+
+    def on_tick(self, ctx):
+        ctx.state["n"] += 1
+        ctx.send(ctx.state["n"])
+        if ctx.state["n"] % 3 == 0:
+            ctx.emit({"n": ctx.state["n"]})
+
+    def on_message(self, ctx, value):
+        ctx.state.setdefault("heard", 0)
+        ctx.state["heard"] = ctx.state["heard"] + 1
+
+
+def make_runtime():
+    runtime = GsuRuntime(MiddlewareConfig(seed=5, tb=TbConfig(interval=20.0)))
+    runtime.install_component_one(Chatter(), Chatter(), tick_period=5.0)
+    runtime.install_component_two(Chatter(), tick_period=7.0)
+    return runtime
+
+
+class TestMiddlewareCommissioning:
+    def test_commission_after_confidence_period(self):
+        runtime = make_runtime()
+        runtime.run(until=200.0)
+        assert not runtime.takeover_happened()
+        runtime.commission_upgrade()
+        # The secondary retires; the primary serves on.
+        assert runtime.system.shadow.deposed
+        assert not runtime.system.active.deposed
+
+    def test_service_continues_after_commissioning(self):
+        runtime = make_runtime()
+        runtime.run(until=200.0)
+        runtime.commission_upgrade()
+        heard_before = runtime.state_of(Role.PEER_2).get("heard", 0)
+        runtime.run(until=400.0)
+        assert runtime.state_of(Role.PEER_2)["heard"] > heard_before
+
+    def test_tb_degenerates_post_commissioning(self):
+        runtime = make_runtime()
+        runtime.run(until=200.0)
+        runtime.commission_upgrade()
+        commissioned_at = runtime.system.sim.now
+        runtime.run(until=400.0)
+        for proc in (runtime.system.active, runtime.system.peer):
+            for ckpt in proc.node.stable.history(proc.process_id):
+                if ckpt.taken_at > commissioned_at and ckpt.epoch:
+                    assert ckpt.content is StableContent.CURRENT_STATE
+
+    def test_cannot_commission_after_takeover(self):
+        runtime = make_runtime()
+        runtime.inject_design_fault(at=50.0)
+        runtime.run(until=300.0)
+        assert runtime.takeover_happened()
+        with pytest.raises(ProtocolError):
+            runtime.commission_upgrade()

@@ -1,0 +1,135 @@
+"""Tests for the GSU middleware (user logic under coordination)."""
+
+import pytest
+
+from repro.analysis import check_system_line, common_stable_line
+from repro.errors import ConfigurationError
+from repro.middleware import ComponentLogic, GsuRuntime, MiddlewareConfig
+from repro.types import Role
+
+
+class Counter(ComponentLogic):
+    """Sends its tick count; records what it hears."""
+
+    def on_start(self, ctx):
+        ctx.state["ticks"] = 0
+        ctx.state["heard"] = []
+
+    def on_tick(self, ctx):
+        ctx.state["ticks"] += 1
+        ctx.send(ctx.state["ticks"])
+        if ctx.state["ticks"] % 4 == 0:
+            ctx.emit({"count": ctx.state["ticks"]})
+
+    def on_message(self, ctx, value):
+        ctx.state["heard"].append(value)
+
+
+def make_runtime(seed=3, **config_kw):
+    runtime = GsuRuntime(MiddlewareConfig(seed=seed, **config_kw))
+    runtime.install_component_one(primary=Counter(), secondary=Counter(),
+                                  tick_period=7.0)
+    runtime.install_component_two(Counter(), tick_period=9.0)
+    return runtime
+
+
+class TestInstallation:
+    def test_missing_components_rejected(self):
+        runtime = GsuRuntime(MiddlewareConfig())
+        with pytest.raises(ConfigurationError):
+            runtime.start()
+
+    def test_bad_tick_period_rejected(self):
+        runtime = GsuRuntime(MiddlewareConfig())
+        runtime.install_component_one(Counter(), Counter(), tick_period=-1.0)
+        runtime.install_component_two(Counter(), tick_period=5.0)
+        with pytest.raises(ConfigurationError):
+            runtime.start()
+
+    def test_components_bound_to_roles(self):
+        runtime = make_runtime()
+        assert runtime.components[Role.ACTIVE_1].process is runtime.system.active
+        assert runtime.system.active.component is runtime.components[Role.ACTIVE_1]
+
+
+class TestFaultFreeRun:
+    def test_logic_exchanges_messages(self):
+        runtime = make_runtime()
+        runtime.run(until=200.0)
+        assert runtime.state_of(Role.PEER_2)["heard"]
+        assert runtime.state_of(Role.ACTIVE_1)["heard"]
+
+    def test_active_and_shadow_states_match(self):
+        runtime = make_runtime()
+        runtime.run(until=300.0)
+        assert (runtime.state_of(Role.ACTIVE_1)
+                == runtime.state_of(Role.SHADOW_1))
+
+    def test_shadow_messages_suppressed(self):
+        runtime = make_runtime()
+        runtime.run(until=200.0)
+        assert runtime.system.shadow.counters.get("suppressed") > 0
+        assert runtime.system.shadow.counters.get("sent.internal") == 0
+
+    def test_external_emissions_reach_device(self):
+        runtime = make_runtime()
+        runtime.run(until=300.0)
+        assert runtime.system.network.device_log
+
+    def test_stable_lines_valid(self):
+        runtime = make_runtime()
+        runtime.run(until=500.0)
+        assert check_system_line(common_stable_line(runtime.system)) == []
+
+    def test_determinism(self):
+        def fingerprint():
+            runtime = make_runtime(seed=9)
+            runtime.run(until=300.0)
+            return (runtime.state_of(Role.PEER_2)["heard"],
+                    runtime.system.sim.events_executed)
+        assert fingerprint() == fingerprint()
+
+
+class TestDesignFault:
+    def test_detection_and_takeover(self):
+        runtime = make_runtime()
+        runtime.inject_design_fault(at=100.0)
+        runtime.run(until=600.0)
+        assert runtime.takeover_happened()
+        assert runtime.system.active.deposed
+        for component in runtime.in_service:
+            assert not component.state.corrupt
+
+    def test_no_corrupt_externals_escape(self):
+        runtime = make_runtime()
+        runtime.inject_design_fault(at=100.0)
+        runtime.run(until=600.0)
+        assert all(not m.corrupt for m in runtime.system.network.device_log)
+
+    def test_service_continues_after_takeover(self):
+        runtime = make_runtime()
+        runtime.inject_design_fault(at=100.0)
+        runtime.run(until=400.0)
+        heard_at_takeover = len(runtime.state_of(Role.PEER_2)["heard"])
+        runtime.run(until=800.0)
+        assert len(runtime.state_of(Role.PEER_2)["heard"]) > heard_at_takeover
+
+
+class TestHardwareFault:
+    def test_crash_recovery_restores_user_state(self):
+        runtime = make_runtime()
+        runtime.inject_crash("N2", at=300.0, repair_time=2.0)
+        runtime.run(until=600.0)
+        assert runtime.system.hw_recovery.recoveries == 1
+        # The user's dict survived the rollback and kept evolving.
+        assert runtime.state_of(Role.PEER_2)["ticks"] > 30
+
+    def test_combined_faults(self):
+        runtime = make_runtime()
+        runtime.inject_design_fault(at=150.0)
+        runtime.inject_crash("N1b", at=400.0, repair_time=2.0)
+        runtime.run(until=900.0)
+        assert runtime.takeover_happened()
+        assert runtime.system.hw_recovery.recoveries == 1
+        for component in runtime.in_service:
+            assert not component.state.corrupt

@@ -1,0 +1,99 @@
+"""Property-based tests for clocks and blocking-period bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import ClockConfig, DriftingClock
+from repro.sim.kernel import Simulator
+from repro.sim.network import NetworkConfig
+from repro.sim.rng import RngRegistry
+from repro.tb.blocking import blocking_period, message_delay_term
+
+
+clock_configs = st.builds(
+    ClockConfig,
+    delta=st.floats(min_value=0.0, max_value=1.0),
+    rho=st.floats(min_value=0.0, max_value=1e-3))
+
+net_configs = st.builds(
+    lambda lo, width: NetworkConfig(t_min=lo, t_max=lo + width),
+    lo=st.floats(min_value=0.0, max_value=0.1),
+    width=st.floats(min_value=0.0, max_value=0.5))
+
+
+class TestClockProperties:
+    @given(clock_configs, st.integers(min_value=0, max_value=500),
+           st.floats(min_value=0.0, max_value=1e5))
+    def test_pairwise_skew_within_bound(self, config, seed, elapsed):
+        sim = Simulator()
+        reg = RngRegistry(seed)
+        a = DriftingClock(sim, config, reg, "a")
+        b = DriftingClock(sim, config, reg, "b")
+        skew = abs(a.read(elapsed) - b.read(elapsed))
+        assert skew <= config.max_skew(elapsed) + 1e-9
+
+    @given(clock_configs, st.integers(min_value=0, max_value=100),
+           st.floats(min_value=0.0, max_value=1e5))
+    def test_conversion_roundtrip(self, config, seed, t):
+        sim = Simulator()
+        clock = DriftingClock(sim, config, RngRegistry(seed), "c")
+        assert clock.true_time_of(clock.read(t)) == pytest.approx(t, abs=1e-6)
+
+    @given(clock_configs, st.integers(min_value=0, max_value=100))
+    def test_local_time_strictly_increases(self, config, seed):
+        sim = Simulator()
+        clock = DriftingClock(sim, config, RngRegistry(seed), "c")
+        readings = [clock.read(t) for t in (0.0, 1.0, 10.0, 100.0)]
+        assert readings == sorted(readings)
+        assert len(set(readings)) == 4
+
+
+class TestBlockingProperties:
+    @given(clock_configs, net_configs,
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_dirty_blocking_never_shorter_than_clean(self, clock, net, elapsed):
+        clean = blocking_period(0, clock, elapsed, net)
+        dirty = blocking_period(1, clock, elapsed, net)
+        assert dirty >= clean
+
+    @given(clock_configs, net_configs,
+           st.floats(min_value=0.0, max_value=1e4),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_floor_respected(self, clock, net, elapsed, floor):
+        for bit in (0, 1):
+            assert blocking_period(bit, clock, elapsed, net,
+                                   floor=floor) >= floor
+
+    @given(clock_configs, net_configs,
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_blocking_nonnegative(self, clock, net, elapsed):
+        for bit in (0, 1):
+            assert blocking_period(bit, clock, elapsed, net) >= 0.0
+
+    @given(net_configs)
+    def test_delay_term_signs(self, net):
+        assert message_delay_term(1, net) >= 0.0 or net.t_max == 0.0
+        assert message_delay_term(0, net) <= 0.0
+
+    @given(clock_configs, net_configs,
+           st.floats(min_value=0.0, max_value=1e4),
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_monotone_in_elapsed(self, clock, net, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert blocking_period(1, clock, lo, net) <= \
+            blocking_period(1, clock, hi, net) + 1e-12
+
+
+class TestDeliveryGuarantee:
+    @given(clock_configs, net_configs,
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_notification_arrives_within_dirty_blocking(self, clock, net,
+                                                        elapsed):
+        """The paper's Section 4.2 argument, as an inequality: a
+        notification sent before the sender's timer expiry arrives
+        within a dirty receiver's blocking period."""
+        receiver_expiry = 1000.0
+        worst_sender_expiry = receiver_expiry + clock.max_skew(elapsed)
+        worst_arrival = worst_sender_expiry + net.t_max
+        blocking_end = receiver_expiry + blocking_period(1, clock, elapsed, net)
+        assert worst_arrival <= blocking_end + 1e-9

@@ -1,0 +1,75 @@
+"""Property-based tests for the statistics collectors."""
+
+import math
+import statistics
+
+from hypothesis import given, strategies as st
+
+from repro.sim.monitor import RunningStat, summarize
+
+values = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=200)
+
+
+@given(values)
+def test_mean_matches_statistics(xs):
+    assert summarize(xs).mean == pytest_approx(statistics.fmean(xs))
+
+
+def pytest_approx(x, rel=1e-9, abs_=1e-6):
+    import pytest
+    return pytest.approx(x, rel=rel, abs=abs_)
+
+
+@given(values)
+def test_extrema_bound_mean(xs):
+    stat = summarize(xs)
+    assert stat.minimum <= stat.mean <= stat.maximum or math.isclose(
+        stat.minimum, stat.maximum)
+
+
+@given(values)
+def test_variance_nonnegative(xs):
+    assert summarize(xs).variance >= -1e-9
+
+
+@given(values, values)
+def test_merge_equals_concatenation(xs, ys):
+    merged = summarize(xs)
+    merged.merge(summarize(ys))
+    combined = summarize(xs + ys)
+    assert merged.count == combined.count
+    assert merged.mean == pytest_approx(combined.mean, rel=1e-6, abs_=1e-3)
+    assert merged.variance == pytest_approx(combined.variance, rel=1e-4,
+                                            abs_=1e-2)
+
+
+@given(values, values, values)
+def test_merge_is_associative_in_distribution(xs, ys, zs):
+    left = summarize(xs)
+    left.merge(summarize(ys))
+    left.merge(summarize(zs))
+    right_tail = summarize(ys)
+    right_tail.merge(summarize(zs))
+    right = summarize(xs)
+    right.merge(right_tail)
+    assert left.count == right.count
+    assert left.mean == pytest_approx(right.mean, rel=1e-6, abs_=1e-3)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=100.0),
+                          st.floats(min_value=-10.0, max_value=10.0)),
+                min_size=1, max_size=50))
+def test_time_weighted_integral_matches_manual(segments):
+    from repro.sim.monitor import TimeWeightedValue
+    signal = TimeWeightedValue(0.0, at=0.0)
+    t = 0.0
+    manual = 0.0
+    current = 0.0
+    for duration, value in segments:
+        manual += current * duration
+        t += duration
+        signal.set(value, at=t)
+        current = value
+    assert signal.integral(t) == pytest_approx(manual, rel=1e-6, abs_=1e-6)

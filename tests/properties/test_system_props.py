@@ -1,0 +1,88 @@
+"""Property-based tests over whole coordinated systems.
+
+These are the heavyweight properties: for randomly drawn (bounded)
+workload parameters, seeds and fault schedules, a coordinated run must
+end with valid stable lines, conservative dirty bits, non-negative
+bounded rollback distances, and clean trusted-pair ground truth.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.global_state import common_stable_line, live_line
+from repro.analysis.invariants import check_ground_truth, check_system_line
+from repro.app.faults import HardwareFaultPlan, SoftwareFaultPlan
+from repro.app.workload import WorkloadConfig
+from repro.coordination.scheme import Scheme, SystemConfig, build_system
+from repro.tb.blocking import TbConfig
+
+HORIZON = 600.0
+
+system_params = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=10_000),
+    "internal_rate": st.floats(min_value=0.005, max_value=0.5),
+    "external_rate": st.floats(min_value=0.005, max_value=0.1),
+    "interval": st.floats(min_value=5.0, max_value=60.0),
+})
+
+slow = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(params, scheme=Scheme.COORDINATED):
+    return build_system(SystemConfig(
+        scheme=scheme, seed=params["seed"], horizon=HORIZON,
+        tb=TbConfig(interval=params["interval"]),
+        workload1=WorkloadConfig(internal_rate=params["internal_rate"],
+                                 external_rate=params["external_rate"],
+                                 step_rate=0.01, horizon=HORIZON),
+        workload2=WorkloadConfig(internal_rate=params["internal_rate"] / 2.0,
+                                 external_rate=params["external_rate"],
+                                 step_rate=0.01, horizon=HORIZON),
+        trace_enabled=False))
+
+
+@slow
+@given(system_params)
+def test_fault_free_lines_always_valid(params):
+    system = build(params)
+    system.run()
+    assert check_system_line(common_stable_line(system)) == []
+
+
+@slow
+@given(system_params)
+def test_dirty_bits_conservative_with_perfect_at(params):
+    system = build(params)
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=HORIZON / 3.0))
+    system.run()
+    # With coverage 1.0, no believed-clean state is actually corrupt —
+    # across the live states of all in-service processes.
+    assert check_ground_truth(live_line(system)) == []
+
+
+@slow
+@given(system_params,
+       st.floats(min_value=50.0, max_value=HORIZON - 100.0),
+       st.sampled_from(["N1a", "N1b", "N2"]))
+def test_crash_recovery_invariants(params, crash_at, node):
+    system = build(params)
+    system.inject_crash(HardwareFaultPlan(node_id=node, crash_at=crash_at,
+                                          repair_time=1.0))
+    system.run()
+    assert system.hw_recovery.recoveries == 1
+    for record in system.hw_recovery.records:
+        assert record.distance >= 0.0
+        assert record.distance <= crash_at + 1.0
+    assert check_system_line(common_stable_line(system)) == []
+
+
+@slow
+@given(system_params)
+def test_determinism_under_random_parameters(params):
+    def fingerprint():
+        system = build(params)
+        system.run()
+        return (system.sim.events_executed,
+                system.peer.component.state.value,
+                tuple(sorted(system.peer.counters.as_dict().items())))
+    assert fingerprint() == fingerprint()

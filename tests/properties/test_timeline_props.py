@@ -1,0 +1,76 @@
+"""Property-based tests for the timeline renderer over synthetic traces."""
+
+from hypothesis import given, strategies as st
+
+from repro.experiments.timeline import render_timeline
+from repro.sim.trace import TraceRecorder
+from repro.types import ProcessId
+
+PIDS = [ProcessId("A"), ProcessId("B")]
+
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.sampled_from(["confidence.dirty", "confidence.clean",
+                         "checkpoint.volatile.type-1",
+                         "checkpoint.volatile.type-2",
+                         "checkpoint.volatile.pseudo",
+                         "tb.establish.done", "at.pass", "at.fail"]),
+        st.sampled_from([0, 1]),
+    ),
+    max_size=60)
+
+
+def build_trace(evts):
+    trace = TraceRecorder()
+    for t, category, who in sorted(evts):
+        data = {"bit": "dirty"} if category.startswith("confidence") else {}
+        trace.record(t, category, PIDS[who], **data)
+    return trace
+
+
+@given(events, st.integers(min_value=10, max_value=200))
+def test_lanes_have_exact_width(evts, width):
+    trace = build_trace(evts)
+    text = render_timeline(trace, PIDS, since=0.0, until=100.0, width=width)
+    lines = text.splitlines()
+    assert len(lines) == 1 + len(PIDS)
+    for line in lines[1:]:
+        body = line.split("|", 1)[1].rstrip("|")
+        assert len(body) == width
+
+
+@given(events)
+def test_lane_cells_come_from_known_alphabet(evts):
+    trace = build_trace(evts)
+    text = render_timeline(trace, PIDS, since=0.0, until=100.0, width=50)
+    alphabet = set("░▓12PSA!RX")
+    for line in text.splitlines()[1:]:
+        body = line.split("|", 1)[1].rstrip("|")
+        assert set(body) <= alphabet
+
+
+@given(events)
+def test_shading_follows_last_confidence_transition(evts):
+    trace = build_trace(evts)
+    text = render_timeline(trace, PIDS, since=0.0, until=100.0, width=100)
+    for who, line in zip(PIDS, text.splitlines()[1:]):
+        body = line.split("|", 1)[1].rstrip("|")
+        transitions = [(rec.time, rec.category.endswith(".dirty"))
+                       for rec in trace.records("confidence.", who)]
+        # The final cell's shading matches the last transition (default
+        # clean), unless a marker overwrote it.
+        final_dirty = transitions[-1][1] if transitions else False
+        shades = [c for c in body if c in "░▓"]
+        if shades and not transitions:
+            assert shades[-1] == "░"
+        elif shades and transitions and transitions[-1][0] < 99.0:
+            assert shades[-1] == ("▓" if final_dirty else "░")
+
+
+@given(events)
+def test_rendering_is_pure(evts):
+    trace = build_trace(evts)
+    first = render_timeline(trace, PIDS, since=0.0, until=100.0, width=64)
+    second = render_timeline(trace, PIDS, since=0.0, until=100.0, width=64)
+    assert first == second

@@ -1,0 +1,110 @@
+"""Unit tests for drifting clocks."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import ClockConfig, DriftingClock
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_clock(delta=0.01, rho=1e-5, seed=3, name="c1", sim=None):
+    sim = sim if sim is not None else Simulator()
+    return sim, DriftingClock(sim, ClockConfig(delta=delta, rho=rho),
+                              RngRegistry(seed), name=name)
+
+
+class TestConfig:
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ClockError):
+            ClockConfig(delta=-1.0)
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ClockError):
+            ClockConfig(rho=-1e-5)
+
+    def test_max_skew_formula(self):
+        config = ClockConfig(delta=0.5, rho=1e-4)
+        assert config.max_skew(0.0) == 0.5
+        assert config.max_skew(1000.0) == pytest.approx(0.5 + 0.2)
+
+
+class TestDrift:
+    def test_drift_within_bounds(self):
+        for seed in range(20):
+            _, clock = make_clock(rho=1e-4, seed=seed)
+            assert -1e-4 <= clock.drift <= 1e-4
+
+    def test_initial_offset_within_half_delta(self):
+        for seed in range(20):
+            _, clock = make_clock(delta=0.2, seed=seed)
+            assert abs(clock.read(0.0)) <= 0.1 + 1e-12
+
+    def test_two_clocks_within_delta(self):
+        sim = Simulator()
+        reg = RngRegistry(5)
+        config = ClockConfig(delta=0.2, rho=0.0)
+        a = DriftingClock(sim, config, reg, "a")
+        b = DriftingClock(sim, config, reg, "b")
+        assert abs(a.read(0.0) - b.read(0.0)) <= 0.2
+
+    def test_clock_advances_with_true_time(self):
+        _, clock = make_clock()
+        assert clock.read(100.0) > clock.read(50.0)
+
+    def test_drift_rate_applies(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, ClockConfig(delta=0.0, rho=1e-3),
+                              RngRegistry(1), "d")
+        elapsed_local = clock.read(1000.0) - clock.read(0.0)
+        assert elapsed_local == pytest.approx(1000.0 * (1 + clock.drift))
+
+
+class TestConversion:
+    def test_true_time_roundtrip(self):
+        _, clock = make_clock(rho=1e-4, seed=9)
+        for t in (0.0, 10.0, 1234.5):
+            local = clock.read(t)
+            assert clock.true_time_of(local) == pytest.approx(t, abs=1e-9)
+
+    def test_now_matches_read_of_sim_now(self):
+        sim, clock = make_clock()
+        sim.schedule_at(50.0, lambda: None)
+        sim.run()
+        assert clock.now() == clock.read(sim.now)
+
+
+class TestResync:
+    def test_resync_bounds_error(self):
+        for seed in range(10):
+            sim, clock = make_clock(delta=0.2, rho=1e-4, seed=seed)
+            sim.schedule_at(5000.0, lambda: None)
+            sim.run()
+            clock.resync()
+            assert abs(clock.now() - sim.now) <= 0.1 + 1e-12
+
+    def test_resync_resets_elapsed(self):
+        sim, clock = make_clock()
+        sim.schedule_at(100.0, lambda: None)
+        sim.run()
+        assert clock.elapsed_since_resync() == pytest.approx(100.0)
+        clock.resync()
+        assert clock.elapsed_since_resync() == 0.0
+
+    def test_resync_to_explicit_reference(self):
+        sim, clock = make_clock(delta=0.0)
+        clock.resync(reference_local=500.0)
+        assert clock.now() == pytest.approx(500.0)
+
+    def test_resync_notifies_listeners(self):
+        _, clock = make_clock()
+        seen = []
+        clock.on_resync(seen.append)
+        clock.resync()
+        assert seen == [clock]
+
+    def test_drift_survives_resync(self):
+        sim, clock = make_clock(rho=1e-3)
+        before = clock.drift
+        clock.resync()
+        assert clock.drift == before

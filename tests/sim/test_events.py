@@ -1,0 +1,73 @@
+"""Unit tests for the event primitives."""
+
+from repro.sim.events import Event, EventPriority, make_event
+
+
+def _noop():
+    pass
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        early = make_event(1.0, _noop)
+        late = make_event(2.0, _noop)
+        assert early < late
+        assert not late < early
+
+    def test_same_time_orders_by_priority(self):
+        delivery = make_event(1.0, _noop, priority=EventPriority.DELIVERY)
+        timer = make_event(1.0, _noop, priority=EventPriority.TIMER)
+        action = make_event(1.0, _noop, priority=EventPriority.ACTION)
+        control = make_event(1.0, _noop, priority=EventPriority.CONTROL)
+        assert delivery < timer < action < control
+
+    def test_same_time_same_priority_orders_by_insertion(self):
+        first = make_event(1.0, _noop)
+        second = make_event(1.0, _noop)
+        assert first < second
+
+    def test_explicit_seq_pins_tiebreak(self):
+        a = make_event(1.0, _noop, seq=10)
+        b = make_event(1.0, _noop, seq=5)
+        assert b < a
+
+    def test_priority_beats_insertion_order(self):
+        later_inserted = make_event(1.0, _noop, priority=EventPriority.DELIVERY)
+        # Insert another afterwards with a lower-urgency priority.
+        earlier_priority = make_event(1.0, _noop, priority=EventPriority.CONTROL)
+        assert later_inserted < earlier_priority
+
+
+class TestCancellation:
+    def test_not_cancelled_initially(self):
+        event = make_event(1.0, _noop)
+        assert not event.cancelled
+
+    def test_cancel_marks(self):
+        event = make_event(1.0, _noop)
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self):
+        event = make_event(1.0, _noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancelled_flag_does_not_affect_ordering(self):
+        a = make_event(1.0, _noop)
+        b = make_event(2.0, _noop)
+        a.cancel()
+        assert a < b
+
+
+class TestFire:
+    def test_fire_invokes_callback_with_args(self):
+        got = []
+        event = make_event(1.0, got.append, args=("x",))
+        event.fire()
+        assert got == ["x"]
+
+    def test_label_is_preserved(self):
+        event = make_event(1.0, _noop, label="hello")
+        assert event.label == "hello"

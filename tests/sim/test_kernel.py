@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule_at(5.0, lambda: sim.stop())
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_at_current_time_is_allowed(self, sim):
+        fired = []
+        def outer():
+            sim.schedule_at(sim.now, lambda: fired.append("inner"))
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert fired == ["inner"]
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_after(-0.1, lambda: None)
+
+    def test_schedule_after_offsets_from_now(self, sim):
+        times = []
+        sim.schedule_at(3.0, lambda: sim.schedule_after(2.0,
+                        lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+
+class TestRun:
+    def test_runs_in_time_order(self, sim):
+        order = []
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule_at(t, order.append, args=(t,))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule_at(1.0, fired.append, args=(1,))
+        sim.schedule_at(5.0, fired.append, args=(5,))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_keeps_later_events_queued(self, sim):
+        fired = []
+        sim.schedule_at(5.0, fired.append, args=(5,))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [5]
+
+    def test_run_advances_now_to_until_even_when_idle(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_cancelled_events_are_skipped(self, sim):
+        fired = []
+        event = sim.schedule_at(1.0, fired.append, args=(1,))
+        sim.schedule_at(2.0, fired.append, args=(2,))
+        event.cancel()
+        sim.run()
+        assert fired == [2]
+
+    def test_max_events_bounds_execution(self, sim):
+        fired = []
+        for t in range(5):
+            sim.schedule_at(float(t + 1), fired.append, args=(t,))
+        sim.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule_at(1.0, fired.append, args=(1,))
+        sim.schedule_at(2.0, sim.stop)
+        sim.schedule_at(3.0, fired.append, args=(3,))
+        sim.run()
+        assert fired == [1]
+        assert sim.pending_count() == 1
+
+    def test_reentrant_run_raises(self, sim):
+        def nested():
+            sim.run()
+        sim.schedule_at(1.0, nested)
+        with pytest.raises(SchedulingError):
+            sim.run()
+
+    def test_events_executed_counter(self, sim):
+        for t in range(3):
+            sim.schedule_at(float(t + 1), lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+    def test_same_time_priority_interleaving(self, sim):
+        order = []
+        sim.schedule_at(1.0, order.append, args=("action",),
+                        priority=EventPriority.ACTION)
+        sim.schedule_at(1.0, order.append, args=("delivery",),
+                        priority=EventPriority.DELIVERY)
+        sim.schedule_at(1.0, order.append, args=("timer",),
+                        priority=EventPriority.TIMER)
+        sim.run()
+        assert order == ["delivery", "timer", "action"]
+
+
+class TestStepAndPeek:
+    def test_step_executes_one_event(self, sim):
+        fired = []
+        sim.schedule_at(1.0, fired.append, args=(1,))
+        sim.schedule_at(2.0, fired.append, args=(2,))
+        sim.step()
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_step_on_empty_returns_none(self, sim):
+        assert sim.step() is None
+
+    def test_peek_time(self, sim):
+        assert sim.peek_time() is None
+        sim.schedule_at(7.0, lambda: None)
+        assert sim.peek_time() == 7.0
+
+    def test_peek_skips_cancelled(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_pending_count_excludes_cancelled(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_count() == 1

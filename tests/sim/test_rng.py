@@ -1,0 +1,54 @@
+"""Unit tests for the seeded RNG registry."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_64_bits(self):
+        assert 0 <= derive_seed(12345, "stream") < (1 << 64)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_stream(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(7)
+        a = [reg.stream("a").random() for _ in range(5)]
+        b = [reg.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("net").random()
+        b = RngRegistry(7).stream("net").random()
+        assert a == b
+
+    def test_unrelated_stream_isolated_from_draw_order(self):
+        # Drawing from one stream must not perturb another — the
+        # variance-isolation property the paired experiments rely on.
+        reg1 = RngRegistry(7)
+        reg1.stream("noise").random()
+        v1 = reg1.stream("signal").random()
+        reg2 = RngRegistry(7)
+        v2 = reg2.stream("signal").random()
+        assert v1 == v2
+
+    def test_fork_changes_universe(self):
+        reg = RngRegistry(7)
+        child = reg.fork("rep1")
+        assert child.stream("x").random() != reg.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(7).fork("rep1").stream("x").random()
+        b = RngRegistry(7).fork("rep1").stream("x").random()
+        assert a == b

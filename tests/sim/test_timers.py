@@ -1,0 +1,108 @@
+"""Unit tests for the local-clock timer service."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.clock import ClockConfig, DriftingClock
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import TimerService
+
+
+def make_service(delta=0.0, rho=0.0, seed=1):
+    sim = Simulator()
+    clock = DriftingClock(sim, ClockConfig(delta=delta, rho=rho),
+                          RngRegistry(seed), "t")
+    return sim, clock, TimerService(sim, clock)
+
+
+class TestAlarms:
+    def test_fires_at_local_deadline(self):
+        sim, clock, timers = make_service()
+        fired = []
+        timers.set_alarm(10.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired and fired[0] == pytest.approx(clock.true_time_of(10.0))
+
+    def test_fires_with_args(self):
+        sim, _, timers = make_service()
+        got = []
+        timers.set_alarm(1.0, got.append, args=("payload",))
+        sim.run()
+        assert got == ["payload"]
+
+    def test_set_alarm_after(self):
+        sim, clock, timers = make_service()
+        fired = []
+        timers.set_alarm_after(5.0, lambda: fired.append(clock.now()))
+        sim.run()
+        assert fired[0] == pytest.approx(5.0, abs=1e-9)
+
+    def test_negative_relative_delay_raises(self):
+        _, _, timers = make_service()
+        with pytest.raises(SchedulingError):
+            timers.set_alarm_after(-1.0, lambda: None)
+
+    def test_past_deadline_fires_immediately(self):
+        sim, _, timers = make_service()
+        sim.schedule_at(20.0, lambda: None)
+        sim.run()
+        fired = []
+        timers.set_alarm(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [20.0]
+
+    def test_cancel_prevents_firing(self):
+        sim, _, timers = make_service()
+        fired = []
+        alarm = timers.set_alarm(10.0, lambda: fired.append(1))
+        alarm.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_counts(self):
+        _, _, timers = make_service()
+        a = timers.set_alarm(10.0, lambda: None)
+        timers.set_alarm(20.0, lambda: None)
+        assert timers.pending() == 2
+        a.cancel()
+        assert timers.pending() == 1
+
+    def test_cancel_all(self):
+        sim, _, timers = make_service()
+        fired = []
+        timers.set_alarm(10.0, lambda: fired.append(1))
+        timers.set_alarm(20.0, lambda: fired.append(2))
+        timers.cancel_all()
+        sim.run()
+        assert fired == []
+
+
+class TestResyncInteraction:
+    def test_alarm_survives_resync(self):
+        sim, clock, timers = make_service(delta=0.5, rho=0.0, seed=7)
+        fired = []
+        timers.set_alarm(100.0, lambda: fired.append(clock.now()))
+        sim.schedule_at(10.0, clock.resync)
+        sim.run()
+        assert len(fired) == 1
+        # After the resync the alarm still fires when the (re-anchored)
+        # local clock reads the deadline.
+        assert fired[0] == pytest.approx(100.0, abs=1e-6)
+
+    def test_resync_making_deadline_past_fires_immediately(self):
+        sim, clock, timers = make_service(delta=0.0)
+        fired = []
+        timers.set_alarm(50.0, lambda: fired.append(sim.now))
+        # Jump the local clock far ahead of the deadline at t=10.
+        sim.schedule_at(10.0, lambda: clock.resync(reference_local=200.0))
+        sim.run()
+        assert fired == [10.0]
+
+    def test_fired_alarm_not_rearmed_by_resync(self):
+        sim, clock, timers = make_service()
+        fired = []
+        timers.set_alarm(5.0, lambda: fired.append(sim.now))
+        sim.schedule_at(20.0, clock.resync)
+        sim.run()
+        assert len(fired) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for hardware error recovery (the global rollback)."""
+
+import pytest
+
+from conftest import EXTERNAL, INTERNAL, action, run_to
+
+from repro.app.faults import HardwareFaultPlan
+from repro.coordination.scheme import Scheme
+
+
+def crash_and_recover(system, node="N2", at=25.0, repair=1.0, until=40.0):
+    system.inject_crash(HardwareFaultPlan(node_id=node, crash_at=at,
+                                          repair_time=repair))
+    run_to(system, until)
+
+
+class TestGlobalRollback:
+    def test_all_processes_roll_back(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system)
+        assert system.hw_recovery.recoveries == 1
+        assert len(system.hw_recovery.records) == 3
+        assert {r.process_id for r in system.hw_recovery.records} == \
+            {p.process_id for p in system.process_list()}
+
+    def test_line_is_min_common_epoch(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system, at=25.0)
+        # Two establishments (10, 20) completed before the crash at 25.
+        assert all(r.epoch == 2 for r in system.hw_recovery.records)
+
+    def test_distances_are_nonnegative_and_bounded(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system, at=25.0)
+        for record in system.hw_recovery.records:
+            assert 0.0 <= record.distance < 25.0
+
+    def test_crashed_process_distance_measured_to_crash(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system, at=25.0, repair=5.0)
+        peer_record = next(r for r in system.hw_recovery.records
+                           if r.process_id == system.peer.process_id)
+        # Rolled from crash time (25) back to the epoch-2 state (~20):
+        # the 5 s repair outage adds no undone work.
+        assert peer_record.distance == pytest.approx(5.0, abs=1.0)
+
+    def test_crash_before_any_establishment_uses_genesis(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system, at=5.0, until=8.0)
+        assert all(r.epoch == 0 for r in system.hw_recovery.records)
+
+    def test_timers_rearm_after_recovery(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system, at=25.0, until=60.0)
+        # Establishments continue after the recovery.
+        assert all(p.hardware.ndc >= 4 for p in system.process_list())
+
+    def test_incarnation_bumped(self, tb_system):
+        system = tb_system(interval=10.0)
+        before = system.incarnation.value
+        crash_and_recover(system)
+        assert system.incarnation.value == before + 1
+
+
+class TestRecoverabilityMechanics:
+    def _send_just_before_expiry(self, system, epoch_local_time=20.0):
+        """Schedule a clean P2 internal send so close to its own timer
+        expiry that the acknowledgement cannot return before the state
+        is captured — the message lands in the checkpoint's saved
+        unacknowledged set (the Neves-Fuchs recoverability mechanism)."""
+        expiry = system.peer.node.timers.clock.true_time_of(epoch_local_time)
+        system.sim.schedule_at(
+            expiry - 0.003,
+            lambda: system.peer.software.on_send_internal(action(INTERNAL)))
+
+    def test_in_flight_message_saved_and_resent(self, tb_system):
+        system = tb_system(interval=10.0)
+        self._send_just_before_expiry(system)
+        crash_and_recover(system, at=25.0)
+        assert system.peer.counters.get("resent") >= 1
+
+    def test_resends_are_deduplicated_or_reapplied_exactly_once(self, tb_system):
+        system = tb_system(interval=10.0)
+        self._send_just_before_expiry(system)
+        crash_and_recover(system, at=25.0)
+        # Whether or not the shadow's restored state reflected the
+        # original receipt, after recovery the message is applied
+        # exactly once.
+        assert system.shadow.component.state.inputs_applied == 1
+
+    def test_dirty_message_ack_deferred_until_validated(self, tb_system):
+        system = tb_system(interval=10.0)
+        # The active's dirty message is applied at P2 but its ack is
+        # deferred — the message stays in the active's unacknowledged
+        # set, hence restorable — until a validation covers it.
+        system.sim.schedule_at(
+            12.0, lambda: system.active.software.on_send_internal(action(INTERNAL)))
+        run_to(system, 15.0)
+        assert len(system.active.acks) == 1
+        assert system.peer.counters.get("ack.deferred") == 1
+        # The active passes an AT: the validation reaches P2, which
+        # releases the deferred ack.
+        system.sim.schedule_at(
+            15.5, lambda: system.active.software.on_send_external(action(EXTERNAL)))
+        run_to(system, 17.0)
+        assert system.peer.counters.get("ack.released") == 1
+        assert len(system.active.acks) == 0
+
+    def test_ground_truth_clean_after_recovery(self, tb_system):
+        system = tb_system(interval=10.0)
+        crash_and_recover(system)
+        for proc in system.process_list():
+            assert not proc.component.state.corrupt
+
+    def test_workload_resumes_after_recovery(self, tb_system):
+        system = tb_system(interval=10.0, horizon=100.0)
+        crash_and_recover(system, at=25.0, until=100.0)
+        for proc in system.process_list():
+            assert not proc.driver.paused
+
+
+class TestRepeatedCrashes:
+    def test_multiple_recoveries(self, tb_system):
+        system = tb_system(interval=10.0, horizon=200.0)
+        system.inject_crash(HardwareFaultPlan(node_id="N2", crash_at=25.0,
+                                              repair_time=1.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1a", crash_at=65.0,
+                                              repair_time=1.0))
+        system.inject_crash(HardwareFaultPlan(node_id="N1b", crash_at=115.0,
+                                              repair_time=1.0))
+        run_to(system, 200.0)
+        assert system.hw_recovery.recoveries == 3
+        assert len(system.hw_recovery.distances()) == 9
+        assert all(d >= 0 for d in system.hw_recovery.distances())
+
+    def test_distances_by_process_grouping(self, tb_system):
+        system = tb_system(interval=10.0, horizon=100.0)
+        crash_and_recover(system, at=25.0, until=100.0)
+        grouped = system.hw_recovery.distances_by_process()
+        assert len(grouped) == 3
+        assert all(len(v) == 1 for v in grouped.values())

@@ -1,0 +1,56 @@
+"""Unit tests for checkpoint records."""
+
+from repro.checkpoint import Checkpoint
+from repro.types import CheckpointKind, ProcessId, StableContent
+
+
+def capture(state, **kw):
+    defaults = dict(process_id=ProcessId("P"), kind=CheckpointKind.TYPE_1,
+                    state=state, taken_at=1.0, work_done=1.0)
+    defaults.update(kw)
+    return Checkpoint.capture(**defaults)
+
+
+class TestIsolation:
+    def test_restore_returns_equal_state(self):
+        state = {"value": 42, "items": [1, 2]}
+        assert capture(state).restore_state() == state
+
+    def test_restore_is_unaliased(self):
+        state = {"items": [1, 2]}
+        checkpoint = capture(state)
+        state["items"].append(3)
+        assert checkpoint.restore_state() == {"items": [1, 2]}
+
+    def test_each_restore_is_fresh(self):
+        checkpoint = capture({"items": []})
+        first = checkpoint.restore_state()
+        first["items"].append(1)
+        assert checkpoint.restore_state() == {"items": []}
+
+
+class TestMetadata:
+    def test_fields_are_kept(self):
+        checkpoint = capture({"x": 1}, epoch=4,
+                             content=StableContent.VOLATILE_COPY,
+                             meta={"dirty_bit": 1})
+        assert checkpoint.epoch == 4
+        assert checkpoint.content is StableContent.VOLATILE_COPY
+        assert checkpoint.meta["dirty_bit"] == 1
+
+    def test_meta_defaults_empty(self):
+        assert capture({"x": 1}).meta == {}
+
+    def test_size_bytes_positive(self):
+        assert capture({"x": 1}).size_bytes > 0
+
+    def test_rewritten_changes_without_touching_state(self):
+        checkpoint = capture({"x": 1})
+        stable = checkpoint.rewritten(kind=CheckpointKind.STABLE, epoch=9,
+                                      content=StableContent.VOLATILE_COPY)
+        assert stable.kind is CheckpointKind.STABLE
+        assert stable.epoch == 9
+        assert stable.restore_state() == {"x": 1}
+        # The original record is untouched (frozen dataclass copy).
+        assert checkpoint.kind is CheckpointKind.TYPE_1
+        assert checkpoint.epoch is None

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("scenarios", "fig7", "table1", "overhead",
+                        "ablations", "demo", "timeline", "report"):
+            args = parser.parse_args([command])
+            assert callable(args.fn)
+
+    def test_fig7_full_flag(self):
+        args = build_parser().parse_args(["fig7", "--full"])
+        assert args.full
+
+    def test_demo_seed(self):
+        args = build_parser().parse_args(["demo", "--seed", "9"])
+        assert args.seed == 9
+
+    def test_timeline_options(self):
+        args = build_parser().parse_args(
+            ["timeline", "--scheme", "mdcd-only", "--width", "60"])
+        assert args.scheme == "mdcd-only" and args.width == 60
+
+    def test_timeline_rejects_unknown_scheme(self):
+        import pytest
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "--scheme", "bogus"])
+
+
+class TestExecution:
+    def test_demo_runs_clean(self, capsys):
+        assert main(["demo", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "shadow takeover: True" in out
+        assert "violations: none" in out
+
+    def test_table1_prints_table(self, capsys):
+        assert main(["table1"]) == 0
+        assert "adapted TB" in capsys.readouterr().out
+
+    def test_overhead_prints_table(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "coordinated" in capsys.readouterr().out
+
+
+    def test_timeline_renders(self, capsys):
+        assert main(["timeline", "--scheme", "mdcd-only", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "P1_act" in out and "|" in out
