@@ -10,12 +10,15 @@ checkpoint interval + contamination span (not by ``K``), and blocking
 overhead stays negligible.
 """
 
+import time
+
 from repro.analysis import check_system_line
 from repro.analysis.global_state import stable_line
 from repro.app.faults import HardwareFaultPlan
 from repro.app.workload import WorkloadConfig
 from repro.general import GeneralSystemConfig, build_general_system
 from repro.experiments.reporting import format_table
+from repro.parallel.pool import default_worker_count, parallel_map
 from repro.sim.monitor import RunningStat
 from repro.tb.blocking import TbConfig
 
@@ -68,7 +71,25 @@ def run_scale_point(n_peers: int, horizon: float = 4000.0, seed: int = 17):
 
 
 def test_general_scaling(bench_once):
-    points = [run_scale_point(k) for k in (1, 2, 4, 8)]
+    sweep = (1, 2, 4, 8)
+    started = time.perf_counter()
+    points = [run_scale_point(k) for k in sweep]
+    serial_wall = time.perf_counter() - started
+
+    # The K-sweep re-run through the parallel map must reproduce the
+    # serial sweep exactly (same seeds, same deterministic simulator)
+    # while recording the wall-clock both ways.
+    started = time.perf_counter()
+    parallel_points = parallel_map(run_scale_point, list(sweep), workers=2)
+    parallel_wall = time.perf_counter() - started
+    assert parallel_points == points
+    print()
+    print(format_table(
+        ["sweep", "serial s", "parallel s (2 workers)", "usable cpus"],
+        [[str(sweep), f"{serial_wall:.2f}", f"{parallel_wall:.2f}",
+          default_worker_count()]],
+        title="K-sweep wall time — serial vs parallel_map"))
+
     bench_once(run_scale_point, 4)
     print()
     print(format_table(

@@ -1,0 +1,87 @@
+"""Serial vs sharded-parallel campaign execution.
+
+The `repro.parallel` subsystem promises two things at once: a wall-clock
+speedup from sharding replications over worker processes, and *bit-level
+agreement* with serial execution — the same replication seed list, the
+same sample multiset (in fact the same sample sequence), and a mean
+equal up to floating-point reassociation in the parallel Welford merge.
+
+This bench runs one real campaign — the Figure 7 coordinated-scheme
+workload with Poisson crash injection — both ways and measures both
+claims.  The speedup assertion only arms when the machine actually has
+the CPUs to deliver it (>= 4 usable cores); the determinism assertions
+always arm.
+"""
+
+import functools
+import math
+import time
+
+from conftest import full_mode
+
+from repro.coordination.scheme import Scheme
+from repro.experiments.figure7 import Figure7Config, _run_one
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_campaign
+from repro.parallel.pool import default_worker_count
+from repro.parallel.progress import ProgressReporter
+
+WORKERS = 4
+RATE = 100
+
+
+def _campaign_config():
+    replications = 128 if full_mode() else 64
+    return Figure7Config(horizon=4_000.0, replications=replications,
+                         seed=2026), replications
+
+
+def test_parallel_speedup(bench_once):
+    config, replications = _campaign_config()
+    run_one = functools.partial(_run_one, config, RATE, Scheme.COORDINATED)
+
+    started = time.perf_counter()
+    serial = run_campaign("speedup", config.seed, replications, run_one)
+    serial_wall = time.perf_counter() - started
+
+    progress = ProgressReporter("speedup", enabled=False)
+    started = time.perf_counter()
+    parallel = bench_once(
+        run_campaign, "speedup", config.seed, replications, run_one,
+        workers=WORKERS, progress=progress)
+    parallel_wall = time.perf_counter() - started
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    cpus = default_worker_count()
+    telemetry = progress.snapshot()
+    print()
+    print(format_table(
+        ["replications", "samples", "workers", "usable cpus",
+         "serial s", "parallel s", "speedup", "samples/s (parallel)"],
+        [[replications, len(parallel.samples), WORKERS, cpus,
+          f"{serial_wall:.2f}", f"{parallel_wall:.2f}",
+          f"{speedup:.2f}x", f"{telemetry['samples_per_sec']:.0f}"]],
+        title="Parallel campaign speedup — Figure 7 coordinated workload"))
+
+    # Determinism: same sequence of samples, same count, same extrema;
+    # mean equal up to reassociation of the parallel Welford merge.
+    assert parallel.samples == serial.samples
+    assert sorted(parallel.samples) == sorted(serial.samples)
+    assert parallel.stat.count == serial.stat.count == len(serial.samples)
+    assert math.isclose(parallel.mean, serial.mean,
+                        rel_tol=1e-12, abs_tol=1e-12)
+    assert math.isclose(parallel.stat.variance, serial.stat.variance,
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert parallel.stat.minimum == serial.stat.minimum
+    assert parallel.stat.maximum == serial.stat.maximum
+
+    assert telemetry["replications_done"] == replications
+    assert telemetry["shards_done"] == telemetry["total_shards"] > 0
+
+    if cpus >= WORKERS:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x at {WORKERS} workers on {cpus} CPUs, "
+            f"measured {speedup:.2f}x")
+    else:
+        print(f"(speedup assertion skipped: only {cpus} usable CPU(s); "
+              f"measured {speedup:.2f}x)")

@@ -10,6 +10,12 @@ Every reproduction artifact is runnable from the shell:
     python -m repro overhead            # performance cost by scheme
     python -m repro ablations           # design-choice removals
     python -m repro demo                # one coordinated run, narrated
+
+The campaign commands (``fig7``, ``overhead``, ``ablations``) take
+``--seed`` / ``--replications`` to reshape the campaign, ``--workers N``
+to shard replications over worker processes, and (where results are
+cacheable) ``--no-cache`` to bypass the on-disk result cache
+(``$REPRO_CACHE_DIR``, default ``~/.cache/repro-campaigns``).
 """
 
 from __future__ import annotations
@@ -17,6 +23,14 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _cache_from_args(args):
+    """A ResultCache unless ``--no-cache`` was given."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .parallel.cache import ResultCache
+    return ResultCache()
 
 
 def _cmd_scenarios(_args) -> int:
@@ -28,36 +42,61 @@ def _cmd_scenarios(_args) -> int:
 
 
 def _cmd_fig7(args) -> int:
+    import dataclasses
     from .experiments.figure7 import Figure7Config, format_figure7, run_figure7
     config = Figure7Config() if args.full else Figure7Config(
         internal_rates=(60, 100, 140, 200), horizon=20_000.0, replications=1)
-    print(format_figure7(run_figure7(config)))
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    if args.replications is not None:
+        config = dataclasses.replace(config, replications=args.replications)
+    print(format_figure7(run_figure7(config, workers=args.workers,
+                                     cache=_cache_from_args(args))))
     return 0
 
 
-def _cmd_table1(_args) -> int:
+def _cmd_table1(args) -> int:
     from .experiments.table1 import Table1Config, format_table1, run_table1
     config = Table1Config()
-    print(format_table1(run_table1(config), config))
+    print(format_table1(run_table1(config, workers=args.workers), config))
     return 0
 
 
-def _cmd_overhead(_args) -> int:
+def _cmd_overhead(args) -> int:
+    import dataclasses
     from .experiments.overhead import OverheadConfig, format_overhead, run_overhead
-    print(format_overhead(run_overhead(OverheadConfig())))
+    config = OverheadConfig()
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    if args.replications is not None:
+        config = dataclasses.replace(config, replications=args.replications)
+    print(format_overhead(run_overhead(config, workers=args.workers)))
     return 0
 
 
 def _cmd_ablations(args) -> int:
+    import dataclasses
     from .experiments.ablations import (
         ablate_at_coverage,
         ablate_blocking,
         ablate_dirty_fraction,
+        ablate_interval,
         ablate_ndc_gating,
         ablate_swap,
         format_ablation,
     )
-    n = 2 if not args.full else 4
+    from .experiments.figure7 import Figure7Config
+    n = args.replications if args.replications is not None \
+        else (2 if not args.full else 4)
+    cache = _cache_from_args(args)
+    base5 = Figure7Config(horizon=15_000.0, replications=1)
+    base6 = Figure7Config(horizon=20_000.0, replications=2)
+    if args.seed is not None:
+        base5 = dataclasses.replace(base5, seed=args.seed)
+        base6 = dataclasses.replace(base6, seed=args.seed)
+    if args.replications is not None:
+        base5 = dataclasses.replace(base5, replications=args.replications)
+        base6 = dataclasses.replace(base6, replications=args.replications)
     print(format_ablation("Ablation 1 — mid-blocking content swap",
                           ablate_swap(12 if not args.full else 40)))
     print()
@@ -68,14 +107,17 @@ def _cmd_ablations(args) -> int:
                           ablate_blocking(seeds=n, horizon=1000.0)))
     print()
     print(format_ablation("Ablation 4 — AT coverage",
-                          ablate_at_coverage(seeds=4)))
+                          ablate_at_coverage(seeds=max(n, 4),
+                                             workers=args.workers)))
     print()
     print(format_ablation("Ablation 5 — dirty-fraction regime",
-                          ablate_dirty_fraction()))
+                          ablate_dirty_fraction(base=base5,
+                                                workers=args.workers,
+                                                cache=cache)))
     print()
-    from .experiments.ablations import ablate_interval
     print(format_ablation("Ablation 6 — checkpoint interval",
-                          ablate_interval()))
+                          ablate_interval(base=base6, workers=args.workers,
+                                          cache=cache)))
     return 0
 
 
@@ -150,19 +192,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("scenarios", help="reproduce Figures 1, 2, 3, 4 and 6"
                    ).set_defaults(fn=_cmd_scenarios)
 
+    def add_campaign_args(p, cache: bool = True) -> None:
+        p.add_argument("--seed", type=int, default=None,
+                       help="master seed for the campaign")
+        p.add_argument("--replications", type=int, default=None,
+                       help="replications per configuration")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: serial)")
+        if cache:
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute instead of reading the "
+                                "on-disk result cache")
+
     fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (rollback sweep)")
     fig7.add_argument("--full", action="store_true",
                       help="publication-sized sweep")
+    add_campaign_args(fig7)
     fig7.set_defaults(fn=_cmd_fig7)
 
-    sub.add_parser("table1", help="reproduce Table 1 (TB comparison)"
-                   ).set_defaults(fn=_cmd_table1)
+    table1 = sub.add_parser("table1", help="reproduce Table 1 (TB comparison)")
+    table1.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: serial)")
+    table1.set_defaults(fn=_cmd_table1)
 
-    sub.add_parser("overhead", help="performance cost by scheme"
-                   ).set_defaults(fn=_cmd_overhead)
+    overhead = sub.add_parser("overhead", help="performance cost by scheme")
+    add_campaign_args(overhead, cache=False)
+    overhead.set_defaults(fn=_cmd_overhead)
 
     ablations = sub.add_parser("ablations", help="design-choice ablations")
     ablations.add_argument("--full", action="store_true")
+    add_campaign_args(ablations)
     ablations.set_defaults(fn=_cmd_ablations)
 
     sub.add_parser("report", help="regenerate the full reproduction "

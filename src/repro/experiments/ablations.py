@@ -155,43 +155,59 @@ def ablate_blocking(seeds: int = 6, horizon: float = 2000.0) -> List[AblationRow
     return rows
 
 
+def _at_coverage_cell(horizon: float, cell) -> Dict[str, bool]:
+    """One (coverage, seed) run — module-level so worker processes can
+    receive it via :func:`repro.parallel.parallel_map`."""
+    coverage, seed = cell
+    system = build_system(SystemConfig(
+        scheme=Scheme.COORDINATED, seed=seed, horizon=horizon,
+        at=AcceptanceTestConfig(coverage=coverage),
+        tb=TbConfig(interval=30.0),
+        workload1=WorkloadConfig(internal_rate=0.1, external_rate=0.02,
+                                 step_rate=0.01, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.05, external_rate=0.02,
+                                 step_rate=0.01, horizon=horizon)))
+    system.inject_software_fault(SoftwareFaultPlan(activate_at=horizon / 4.0))
+    system.run()
+    from ..analysis.global_state import live_line
+    return {"detected": system.sw_recovery.completed,
+            "contaminated": bool(check_ground_truth(live_line(system)))}
+
+
 def ablate_at_coverage(coverages=(1.0, 0.9, 0.6, 0.3),
-                       seeds: int = 5, horizon: float = 3000.0) -> List[AblationRow]:
+                       seeds: int = 5, horizon: float = 3000.0,
+                       workers: Optional[int] = None) -> List[AblationRow]:
     """Mechanism 4: acceptance-test coverage.
 
     With imperfect coverage a corrupt external message can pass the AT,
     wrongly cleaning dirty bits: ground-truth audits of the live states
-    catch the resulting undetected contamination.
+    catch the resulting undetected contamination.  The (coverage × seed)
+    cells are independent runs and shard across ``workers``.
     """
+    import functools
+    from ..parallel.pool import parallel_map
+    cells = [(coverage, seed) for coverage in coverages
+             for seed in range(seeds)]
+    outcomes = parallel_map(functools.partial(_at_coverage_cell, horizon),
+                            cells, workers=workers)
     rows: List[AblationRow] = []
     for coverage in coverages:
-        contaminated_runs = 0
-        detected_runs = 0
-        for seed in range(seeds):
-            system = build_system(SystemConfig(
-                scheme=Scheme.COORDINATED, seed=seed, horizon=horizon,
-                at=AcceptanceTestConfig(coverage=coverage),
-                tb=TbConfig(interval=30.0),
-                workload1=WorkloadConfig(internal_rate=0.1, external_rate=0.02,
-                                         step_rate=0.01, horizon=horizon),
-                workload2=WorkloadConfig(internal_rate=0.05, external_rate=0.02,
-                                         step_rate=0.01, horizon=horizon)))
-            system.inject_software_fault(SoftwareFaultPlan(activate_at=horizon / 4.0))
-            system.run()
-            if system.sw_recovery.completed:
-                detected_runs += 1
-            from ..analysis.global_state import live_line
-            if check_ground_truth(live_line(system)):
-                contaminated_runs += 1
+        picked = [out for (cov, _), out in zip(cells, outcomes)
+                  if cov == coverage]
         rows.append(AblationRow(
             f"coverage {coverage:.1f}",
-            {"runs": seeds, "error detected (takeover)": detected_runs,
-             "undetected contamination in believed-clean state": contaminated_runs}))
+            {"runs": seeds,
+             "error detected (takeover)":
+                 sum(1 for out in picked if out["detected"]),
+             "undetected contamination in believed-clean state":
+                 sum(1 for out in picked if out["contaminated"])}))
     return rows
 
 
 def ablate_dirty_fraction(rate_multipliers=(1, 5, 20, 80, 300),
-                          base: Optional[Figure7Config] = None) -> List[AblationRow]:
+                          base: Optional[Figure7Config] = None,
+                          workers: Optional[int] = None,
+                          cache=None) -> List[AblationRow]:
     """Study 5: push the internal rate toward (and past) the validation
     rate; the measured and modelled E[D_wt]/E[D_co] gap collapses as
     ``f_d -> 1`` — the regime boundary of the paper's Fig. 7 claim."""
@@ -200,7 +216,7 @@ def ablate_dirty_fraction(rate_multipliers=(1, 5, 20, 80, 300),
     rows: List[AblationRow] = []
     for mult in rate_multipliers:
         rate = 100 * mult
-        point = run_point(config, rate)
+        point = run_point(config, rate, workers=workers, cache=cache)
         params = ModelParams(
             internal_rate1=rate / config.rate_unit,
             external_rate1=config.external_rate,
@@ -219,7 +235,9 @@ def ablate_dirty_fraction(rate_multipliers=(1, 5, 20, 80, 300),
 
 
 def ablate_interval(intervals=(2.0, 6.0, 12.0, 24.0),
-                    base: Optional[Figure7Config] = None) -> List[AblationRow]:
+                    base: Optional[Figure7Config] = None,
+                    workers: Optional[int] = None,
+                    cache=None) -> List[AblationRow]:
     """Study 6: the checkpoint interval Delta.
 
     The model says ``E[D_co] ~= Delta/2 + f_d/lambda_v``: halving the
@@ -232,7 +250,7 @@ def ablate_interval(intervals=(2.0, 6.0, 12.0, 24.0),
     rows: List[AblationRow] = []
     for interval in intervals:
         cfg = dataclasses.replace(config, tb_interval=interval)
-        point = run_point(cfg, rate)
+        point = run_point(cfg, rate, workers=workers, cache=cache)
         rows.append(AblationRow(
             f"Delta = {interval:g} s",
             {"E[D_co]": round(point.e_d_co, 2),

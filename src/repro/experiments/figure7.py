@@ -32,7 +32,11 @@ gap as ``f_d -> 1``.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+import functools
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.cache import ResultCache
 
 from ..analysis.model import (
     ModelParams,
@@ -45,7 +49,7 @@ from ..coordination.scheme import Scheme, SystemConfig, build_system
 from ..sim.rng import RngRegistry
 from ..tb.blocking import TbConfig
 from .reporting import format_table, log_series_bar
-from .runner import replication_seeds
+from .runner import run_campaign
 
 
 @dataclasses.dataclass(frozen=True)
@@ -140,15 +144,32 @@ def _run_one(config: Figure7Config, rate: int, scheme: Scheme,
     return system.hw_recovery.distances()
 
 
-def run_point(config: Figure7Config, rate: int) -> Figure7Point:
+def run_point(config: Figure7Config, rate: int, *,
+              workers: Optional[int] = None,
+              cache: Optional["ResultCache"] = None) -> Figure7Point:
     """Measure one x value (both schemes, all replications) and attach
-    the model predictions."""
-    from ..sim.monitor import RunningStat
-    stats = {Scheme.COORDINATED: RunningStat(), Scheme.WRITE_THROUGH: RunningStat()}
-    for seed in replication_seeds(config.seed, f"fig7:r{rate}", config.replications):
-        for scheme in stats:
-            for d in _run_one(config, rate, scheme, seed):
-                stats[scheme].add(d)
+    the model predictions.
+
+    Both schemes run under the same campaign label, so they draw the
+    same replication seed list (the paired-comparison device) whether
+    executed serially or sharded over ``workers`` processes; the cache
+    fingerprint distinguishes them.
+    """
+    stats = {}
+    for scheme in (Scheme.COORDINATED, Scheme.WRITE_THROUGH):
+        fingerprint = ""
+        if cache is not None:
+            from ..parallel.cache import campaign_fingerprint
+            # Replications are excluded: cells are keyed per replication
+            # index, so growing a sweep reuses the cells it already has.
+            fingerprint = campaign_fingerprint(
+                {"experiment": "figure7",
+                 "config": dataclasses.replace(config, replications=0),
+                 "rate": rate, "scheme": scheme.value})
+        stats[scheme] = run_campaign(
+            f"fig7:r{rate}", config.seed, config.replications,
+            functools.partial(_run_one, config, rate, scheme),
+            workers=workers, cache=cache, fingerprint=fingerprint).stat
     params = ModelParams(
         internal_rate1=rate / config.rate_unit,
         external_rate1=config.external_rate,
@@ -164,9 +185,12 @@ def run_point(config: Figure7Config, rate: int) -> Figure7Point:
         model_wt=expected_rollback_write_through(params))
 
 
-def run_figure7(config: Figure7Config = Figure7Config()) -> List[Figure7Point]:
-    """The full sweep."""
-    return [run_point(config, rate) for rate in config.internal_rates]
+def run_figure7(config: Figure7Config = Figure7Config(), *,
+                workers: Optional[int] = None,
+                cache: Optional["ResultCache"] = None) -> List[Figure7Point]:
+    """The full sweep (optionally sharded over worker processes)."""
+    return [run_point(config, rate, workers=workers, cache=cache)
+            for rate in config.internal_rates]
 
 
 def format_figure7(points: List[Figure7Point]) -> str:

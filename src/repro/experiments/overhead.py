@@ -21,23 +21,31 @@ scheme on an identical fault-free workload:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+import functools
+from typing import Dict, List, Optional
 
 from ..app.workload import WorkloadConfig
 from ..coordination.scheme import Scheme, SystemConfig, build_system
 from ..tb.blocking import TbConfig
 from .reporting import format_table
+from .runner import replication_seeds
 
 
 @dataclasses.dataclass(frozen=True)
 class OverheadConfig:
-    """Workload for the comparison (identical across schemes)."""
+    """Workload for the comparison (identical across schemes).
+
+    ``replications`` > 1 repeats each scheme's measurement over derived
+    seeds (the same seed list for every scheme) and reports the mean
+    cost profile.
+    """
 
     seed: int = 33
     horizon: float = 8_000.0
     tb_interval: float = 30.0
     internal_rate: float = 0.1
     external_rate: float = 0.02
+    replications: int = 1
     schemes: tuple = (Scheme.MDCD_ONLY, Scheme.WRITE_THROUGH,
                       Scheme.NAIVE, Scheme.COORDINATED)
 
@@ -123,11 +131,47 @@ def measure_scheme(config: OverheadConfig, scheme: Scheme) -> OverheadObservatio
         at_runs=at_runs)
 
 
-def run_overhead(config: OverheadConfig = OverheadConfig()
+def _measure_cell(config: OverheadConfig, cell) -> OverheadObservation:
+    """One (scheme, seed) measurement — module-level so worker
+    processes can receive it."""
+    scheme, seed = cell
+    return measure_scheme(dataclasses.replace(config, seed=seed), scheme)
+
+
+def _mean_observations(scheme: Scheme,
+                       observations: List[OverheadObservation]
+                       ) -> OverheadObservation:
+    """Field-wise mean cost profile over replications."""
+    n = len(observations)
+    fields = [f.name for f in dataclasses.fields(OverheadObservation)
+              if f.name != "scheme"]
+    means = {name: sum(getattr(o, name) for o in observations) / n
+             for name in fields}
+    for name in ("deferred_sends", "buffered_deliveries", "at_runs"):
+        means[name] = round(means[name])
+    return OverheadObservation(scheme=scheme.value, **means)
+
+
+def run_overhead(config: OverheadConfig = OverheadConfig(), *,
+                 workers: Optional[int] = None
                  ) -> Dict[str, OverheadObservation]:
-    """Measure every scheme on the identical workload."""
-    return {scheme.value: measure_scheme(config, scheme)
-            for scheme in config.schemes}
+    """Measure every scheme on the identical workload.
+
+    With ``workers`` the (scheme × replication) cells are distributed
+    over worker processes; each scheme sees the same seed list, so the
+    comparison stays paired.
+    """
+    seeds = (replication_seeds(config.seed, "overhead", config.replications)
+             if config.replications > 1 else [config.seed])
+    cells = [(scheme, seed) for scheme in config.schemes for seed in seeds]
+    from ..parallel.pool import parallel_map
+    observations = parallel_map(functools.partial(_measure_cell, config),
+                                cells, workers=workers)
+    by_scheme: Dict[Scheme, List[OverheadObservation]] = {}
+    for (scheme, _), obs in zip(cells, observations):
+        by_scheme.setdefault(scheme, []).append(obs)
+    return {scheme.value: _mean_observations(scheme, obs_list)
+            for scheme, obs_list in by_scheme.items()}
 
 
 def format_overhead(observations: Dict[str, OverheadObservation]) -> str:

@@ -6,15 +6,26 @@ samples; the runner merges replications into a
 replication ``k`` of one configuration is paired with replication ``k``
 of another (variance reduction for paired comparisons such as
 E[D_co] vs E[D_wt]).
+
+Campaigns run serially by default; pass ``workers`` to shard the
+replications across worker processes (see :mod:`repro.parallel`) and
+``cache`` to persist completed cells on disk.  Both paths derive the
+identical seed list, so a parallel campaign reproduces the serial
+sample sequence exactly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from ..sim.monitor import RunningStat
 from ..sim.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.cache import ResultCache
+    from ..parallel.progress import ProgressReporter
+    from ..parallel.supervisor import ShardSupervisor
 
 
 @dataclasses.dataclass
@@ -36,6 +47,24 @@ class CampaignResult:
         """95% confidence half-width of the mean."""
         return self.stat.confidence_halfwidth()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (cross-process transport / cache format)."""
+        return {
+            "label": self.label,
+            "stat": self.stat.to_dict(),
+            "samples": list(self.samples),
+            "replications": self.replications,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            stat=RunningStat.from_dict(data["stat"]),  # type: ignore[arg-type]
+            samples=[float(v) for v in data["samples"]],  # type: ignore[union-attr]
+            replications=int(data["replications"]))  # type: ignore[arg-type]
+
 
 def replication_seeds(master_seed: int, label: str, replications: int) -> List[int]:
     """Stable child seeds for a campaign's replications."""
@@ -44,16 +73,49 @@ def replication_seeds(master_seed: int, label: str, replications: int) -> List[i
 
 
 def run_campaign(label: str, master_seed: int, replications: int,
-                 run_one: Callable[[int], Iterable[float]]) -> CampaignResult:
+                 run_one: Callable[[int], Iterable[float]], *,
+                 workers: Optional[int] = None,
+                 cache: Optional["ResultCache"] = None,
+                 fingerprint: str = "",
+                 progress: Optional["ProgressReporter"] = None,
+                 supervisor: Optional["ShardSupervisor"] = None
+                 ) -> CampaignResult:
     """Run ``replications`` seeded replications and merge the samples.
 
     ``run_one(seed)`` builds+runs one system and returns metric samples
-    (e.g. rollback distances).
+    (e.g. rollback distances).  With ``workers`` > 1 the replications
+    are sharded across worker processes (``run_one`` must be picklable:
+    a module-level function or a :func:`functools.partial` of one);
+    with ``cache`` set, completed replications are read from / written
+    to disk keyed by ``(label, master_seed, replication, fingerprint)``.
     """
+    if workers is not None and workers > 1:
+        from ..parallel.pool import ParallelCampaignRunner
+        from ..parallel.progress import ProgressReporter
+        if progress is None:
+            progress = ProgressReporter(label)
+        runner = ParallelCampaignRunner(workers=workers, cache=cache,
+                                        supervisor=supervisor,
+                                        progress=progress)
+        return runner.run(label, master_seed, replications, run_one,
+                          fingerprint=fingerprint)
+
+    from ..parallel.cache import CacheKey
+
     stat = RunningStat()
     samples: List[float] = []
-    for seed in replication_seeds(master_seed, label, replications):
-        for value in run_one(seed):
+    for rep_index, seed in enumerate(
+            replication_seeds(master_seed, label, replications)):
+        cell: Optional[List[float]] = None
+        if cache is not None:
+            cell = cache.get(CacheKey(label, master_seed, rep_index,
+                                      fingerprint))
+        if cell is None:
+            cell = [float(v) for v in run_one(seed)]
+            if cache is not None:
+                cache.put(CacheKey(label, master_seed, rep_index,
+                                   fingerprint), cell)
+        for value in cell:
             stat.add(value)
             samples.append(value)
     return CampaignResult(label=label, stat=stat, samples=samples,

@@ -22,7 +22,7 @@ validity-concerned checker verdict over the final stable line.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.global_state import common_stable_line
 from ..analysis.invariants import check_system_line, summarize_violations
@@ -102,12 +102,17 @@ def _observe(config: Table1Config, scheme: Scheme) -> ProtocolObservation:
         establishments=establishments)
 
 
-def run_table1(config: Table1Config = Table1Config()) -> Dict[str, ProtocolObservation]:
-    """Measure both protocols on the identical workload."""
-    return {
-        "original": _observe(config, Scheme.NAIVE),
-        "adapted": _observe(config, Scheme.COORDINATED),
-    }
+def run_table1(config: Table1Config = Table1Config(), *,
+               workers: Optional[int] = None
+               ) -> Dict[str, ProtocolObservation]:
+    """Measure both protocols on the identical workload (optionally one
+    worker process per protocol)."""
+    import functools
+    from ..parallel.pool import parallel_map
+    original, adapted = parallel_map(
+        functools.partial(_observe, config),
+        [Scheme.NAIVE, Scheme.COORDINATED], workers=workers)
+    return {"original": original, "adapted": adapted}
 
 
 def format_table1(observations: Dict[str, ProtocolObservation],

@@ -1,0 +1,53 @@
+"""Sharded multi-process campaign execution.
+
+A fault-tolerant executor for a fault-tolerance reproduction: campaigns
+shard their replication seed list across worker processes, merge shard
+statistics with the parallel Welford merge, cache completed cells on
+disk, supervise workers (timeout, bounded retry, serial degradation)
+and report progress telemetry.
+
+* :mod:`~repro.parallel.pool` — :class:`ParallelCampaignRunner` and the
+  generic :func:`parallel_map`.
+* :mod:`~repro.parallel.cache` — :class:`ResultCache`, keyed by
+  ``(label, master seed, replication, config fingerprint)``.
+* :mod:`~repro.parallel.supervisor` — :class:`ShardSupervisor` retry /
+  timeout / degradation policy.
+* :mod:`~repro.parallel.progress` — :class:`ProgressReporter` stderr
+  lines + JSON telemetry.
+"""
+
+from .cache import (
+    CacheKey,
+    ResultCache,
+    campaign_fingerprint,
+    config_fingerprint,
+    default_cache_dir,
+)
+from .pool import (
+    ParallelCampaignRunner,
+    default_worker_count,
+    make_shards,
+    parallel_map,
+)
+from .progress import ProgressReporter
+from .supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    multiprocessing_supported,
+)
+
+__all__ = [
+    "CacheKey",
+    "ParallelCampaignRunner",
+    "ProgressReporter",
+    "ResultCache",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "campaign_fingerprint",
+    "config_fingerprint",
+    "default_cache_dir",
+    "default_worker_count",
+    "make_shards",
+    "multiprocessing_supported",
+    "parallel_map",
+]

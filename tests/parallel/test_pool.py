@@ -1,0 +1,177 @@
+"""Tests for the sharded campaign runner and parallel_map.
+
+The campaign task is a module-level pure function of the seed, so it
+pickles into workers and is bit-for-bit reproducible in-process.
+"""
+
+import functools
+import io
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro.experiments.runner import replication_seeds, run_campaign
+from repro.parallel.cache import ResultCache
+from repro.parallel.pool import (
+    ParallelCampaignRunner,
+    default_worker_count,
+    make_shards,
+    parallel_map,
+)
+from repro.parallel.progress import ProgressReporter
+from repro.parallel.supervisor import ShardSupervisor, SupervisorConfig
+
+
+def _task(seed):
+    rng = random.Random(seed)
+    return [rng.uniform(-5.0, 5.0) for _ in range(1 + seed % 4)]
+
+
+def _negate(x):
+    return -x
+
+
+class TestMakeShards:
+    def test_empty(self):
+        assert make_shards([], 4) == []
+
+    def test_partitions_every_cell_once_in_order(self):
+        cells = [(i, 1000 + i) for i in range(11)]
+        shards = make_shards(cells, workers=3)
+        flat = [cell for shard in shards for cell in shard]
+        assert flat == cells
+        assert all(shard for shard in shards)
+
+    def test_shard_count_tracks_workers(self):
+        cells = [(i, i) for i in range(100)]
+        assert len(make_shards(cells, workers=4, shards_per_worker=2)) == 8
+
+    def test_never_more_shards_than_cells(self):
+        assert len(make_shards([(0, 0)], workers=8)) == 1
+
+
+class TestParallelEqualsSerial:
+    def test_same_samples_and_mean(self):
+        serial = run_campaign("camp", 99, 12, _task)
+        parallel = run_campaign("camp", 99, 12, _task, workers=3)
+        assert parallel.samples == serial.samples  # same sequence, even
+        assert parallel.stat.count == serial.stat.count
+        assert parallel.mean == pytest.approx(serial.mean, rel=1e-12)
+        assert parallel.stat.variance == pytest.approx(
+            serial.stat.variance, rel=1e-9)
+        assert parallel.stat.minimum == serial.stat.minimum
+        assert parallel.stat.maximum == serial.stat.maximum
+
+    def test_uses_the_same_replication_seeds(self):
+        # The pairing guarantee: parallel sharding must not change which
+        # seeds run.
+        result = run_campaign("pair", 5, 8, _task, workers=2)
+        expected = []
+        for seed in replication_seeds(5, "pair", 8):
+            expected.extend(_task(seed))
+        assert result.samples == expected
+
+    def test_unpicklable_task_degrades_to_serial(self):
+        serial = run_campaign("lam", 3, 4, lambda seed: [float(seed % 7)])
+        parallel = run_campaign("lam", 3, 4,
+                                lambda seed: [float(seed % 7)], workers=2)
+        assert parallel.samples == serial.samples
+
+
+def _crashing_task(marker_dir, seed):
+    """``run_one`` that kills its worker process the first time it sees
+    each seed; retries (and the in-process fallback) then succeed."""
+    marker = os.path.join(marker_dir, f"seed-{seed}")
+    in_worker = multiprocessing.current_process().name != "MainProcess"
+    if in_worker and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return _task(seed)
+
+
+class TestSupervisedCampaign:
+    def test_killed_worker_retried_and_aggregates_correct(self, tmp_path):
+        supervisor = ShardSupervisor(
+            SupervisorConfig(max_retries=3, backoff_base=0.0),
+            sleep=lambda _seconds: None)
+        run_one = functools.partial(_crashing_task, str(tmp_path))
+        result = run_campaign("crashy", 21, 6, run_one, workers=2,
+                              supervisor=supervisor)
+        expected = run_campaign("crashy", 21, 6, _task)
+        assert result.samples == expected.samples
+        assert result.mean == pytest.approx(expected.mean, rel=1e-12)
+        assert result.stat.count == expected.stat.count
+        assert any("worker process died" in e for e in supervisor.events)
+
+
+class TestCaching:
+    def test_second_run_serves_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_campaign("c", 7, 6, _task, workers=2, cache=cache,
+                             fingerprint="fp")
+        assert len(cache) == 6
+        cache2 = ResultCache(tmp_path)
+        progress = ProgressReporter(stream=io.StringIO())
+        second = run_campaign("c", 7, 6, _task, workers=2, cache=cache2,
+                              fingerprint="fp", progress=progress)
+        assert cache2.hits == 6
+        assert progress.total_shards == 0  # nothing left to compute
+        assert second.samples == first.samples
+        assert second.mean == pytest.approx(first.mean, rel=1e-12)
+
+    def test_partial_cache_computes_only_missing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign("c", 7, 3, _task, cache=cache, fingerprint="fp")
+        full = run_campaign("c", 7, 6, _task, workers=2, cache=cache,
+                            fingerprint="fp")
+        assert cache.hits == 3
+        assert full.samples == run_campaign("c", 7, 6, _task).samples
+
+    def test_serial_path_also_caches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign("s", 11, 4, _task, cache=cache, fingerprint="x")
+        assert len(cache) == 4
+        cache.hits = 0
+        again = run_campaign("s", 11, 4, _task, cache=cache, fingerprint="x")
+        assert cache.hits == 4
+        assert again.samples == run_campaign("s", 11, 4, _task).samples
+
+    def test_different_fingerprint_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign("s", 11, 2, _task, cache=cache, fingerprint="a")
+        run_campaign("s", 11, 2, _task, cache=cache, fingerprint="b")
+        assert len(cache) == 4
+
+
+class TestProgressIntegration:
+    def test_telemetry_counts_shards_and_samples(self):
+        progress = ProgressReporter("camp", stream=io.StringIO())
+        result = run_campaign("camp", 42, 8, _task, workers=2,
+                              progress=progress)
+        snap = progress.snapshot()
+        assert snap["total_shards"] == snap["shards_done"] > 0
+        assert snap["replications_done"] == 8
+        assert snap["samples"] == len(result.samples)
+        assert snap["eta_seconds"] == 0.0
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_negate, [3, 1, 2], workers=2) == [-3, -1, -2]
+
+    def test_serial_when_workers_none(self):
+        assert parallel_map(_negate, [4]) == [-4]
+
+    def test_unpicklable_fn_degrades(self):
+        sup = ShardSupervisor(SupervisorConfig())
+        out = parallel_map(lambda v: v + 1, [1, 2], workers=2,
+                           supervisor=sup)
+        assert out == [2, 3]
+        assert any("not picklable" in e for e in sup.events)
+
+
+def test_default_worker_count_positive():
+    assert default_worker_count() >= 1

@@ -1,0 +1,141 @@
+"""Tests for worker supervision: retry, timeout, degradation.
+
+The crash/hang worker functions are module-level so they pickle into
+worker processes; the ones that must misbehave only inside a worker
+key off the process name.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.parallel.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    multiprocessing_supported,
+)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _double(x):
+    return x * 2
+
+
+def _crash_once(payload):
+    """Kill the worker process the first time each marker is seen; the
+    supervised retry then finds the marker and succeeds."""
+    marker_dir, x = payload
+    marker = os.path.join(marker_dir, f"seen-{x}")
+    if _in_worker() and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return x * 10
+
+
+def _always_crash_in_worker(x):
+    if _in_worker():
+        os._exit(1)
+    return x + 100
+
+
+def _hang_in_worker(x):
+    if _in_worker():
+        time.sleep(1.0)
+    return x + 7
+
+
+def _always_raise(x):
+    raise ValueError(f"bad cell {x}")
+
+
+def fast_supervisor(**overrides):
+    defaults = dict(shard_timeout=30.0, max_retries=1, backoff_base=0.0)
+    defaults.update(overrides)
+    slept = []
+    sup = ShardSupervisor(SupervisorConfig(**defaults), sleep=slept.append)
+    return sup, slept
+
+
+class TestSerialPaths:
+    def test_workers_one_runs_in_process(self):
+        sup, _ = fast_supervisor()
+        assert sup.run(_double, [1, 2, 3], workers=1) == [2, 4, 6]
+
+    def test_single_shard_runs_in_process(self):
+        sup, _ = fast_supervisor()
+        assert sup.run(_double, [21], workers=8) == [42]
+
+    def test_run_serial_helper(self):
+        sup, _ = fast_supervisor()
+        assert sup.run_serial(_double, [5]) == [10]
+
+    def test_unsupported_platform_degrades(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.supervisor.multiprocessing_supported",
+            lambda method=None: False)
+        sup, _ = fast_supervisor()
+        assert sup.run(_double, [1, 2], workers=4) == [2, 4]
+        assert any("degraded" in e for e in sup.events)
+
+
+class TestParallelExecution:
+    def test_results_align_with_shards(self):
+        sup, _ = fast_supervisor()
+        assert sup.run(_double, list(range(6)), workers=2) == \
+            [0, 2, 4, 6, 8, 10]
+
+    def test_on_shard_done_fires_once_per_shard(self):
+        sup, _ = fast_supervisor()
+        landed = {}
+        sup.run(_double, [3, 4], workers=2,
+                on_shard_done=lambda i, r: landed.setdefault(i, r))
+        assert landed == {0: 6, 1: 8}
+
+
+class TestFailureHandling:
+    def test_killed_worker_is_retried_to_completion(self, tmp_path):
+        sup, _ = fast_supervisor(max_retries=3)
+        payloads = [(str(tmp_path), x) for x in range(3)]
+        assert sup.run(_crash_once, payloads, workers=2) == [0, 10, 20]
+        assert any("worker process died" in e for e in sup.events)
+
+    def test_persistent_crasher_degrades_to_in_process(self):
+        sup, _ = fast_supervisor(max_retries=1)
+        assert sup.run(_always_crash_in_worker, [1, 2], workers=2) == \
+            [101, 102]
+        assert any("running in-process" in e for e in sup.events)
+
+    def test_hung_worker_times_out_then_completes(self):
+        sup, _ = fast_supervisor(shard_timeout=0.2, max_retries=1)
+        assert sup.run(_hang_in_worker, [1, 2], workers=2) == [8, 9]
+        assert any("timeout" in e for e in sup.events)
+
+    def test_deterministic_error_finally_surfaces(self):
+        sup, _ = fast_supervisor(max_retries=1)
+        with pytest.raises(ValueError, match="bad cell"):
+            sup.run(_always_raise, [5], workers=2)
+
+    def test_backoff_grows_exponentially(self):
+        config = SupervisorConfig(backoff_base=0.5, backoff_factor=3.0)
+        assert config.backoff(1) == 0.5
+        assert config.backoff(2) == 1.5
+        assert config.backoff(3) == 4.5
+
+    def test_backoff_sleep_called_between_retries(self):
+        sup, slept = fast_supervisor(max_retries=2, backoff_base=0.01)
+        sup.run(_always_crash_in_worker, [1, 2], workers=2)
+        assert slept, "retry rounds should sleep"
+
+
+class TestPlatformProbe:
+    def test_current_platform_supported(self):
+        assert multiprocessing_supported()
+
+    def test_unknown_start_method_rejected(self):
+        assert not multiprocessing_supported("no-such-method")

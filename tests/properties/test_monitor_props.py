@@ -45,6 +45,26 @@ def test_merge_equals_concatenation(xs, ys):
                                             abs_=1e-2)
 
 
+@given(st.lists(values, min_size=1, max_size=8))
+def test_merge_of_deserialized_shards_equals_single_pass(shards):
+    # Cross-process transport: each shard is serialized (as the cache
+    # and the worker protocol do), deserialized in the parent, and
+    # merged; the result must match accumulating every sample once.
+    import json
+
+    merged = RunningStat()
+    for shard in shards:
+        wire = json.loads(json.dumps(summarize(shard).to_dict()))
+        merged.merge(RunningStat.from_dict(wire))
+    combined = summarize([x for shard in shards for x in shard])
+    assert merged.count == combined.count
+    assert merged.mean == pytest_approx(combined.mean, rel=1e-6, abs_=1e-3)
+    assert merged.variance == pytest_approx(combined.variance, rel=1e-4,
+                                            abs_=1e-2)
+    assert merged.minimum == combined.minimum
+    assert merged.maximum == combined.maximum
+
+
 @given(values, values, values)
 def test_merge_is_associative_in_distribution(xs, ys, zs):
     left = summarize(xs)

@@ -21,6 +21,51 @@ class TestParser:
         args = build_parser().parse_args(["fig7", "--full"])
         assert args.full
 
+    def test_fig7_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "--seed", "123", "--replications", "5",
+             "--workers", "4", "--no-cache"])
+        assert args.seed == 123
+        assert args.replications == 5
+        assert args.workers == 4
+        assert args.no_cache
+
+    def test_fig7_campaign_flags_default_off(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.seed is None
+        assert args.replications is None
+        assert args.workers is None
+        assert not args.no_cache
+
+    def test_overhead_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["overhead", "--seed", "9", "--replications", "3",
+             "--workers", "2"])
+        assert args.seed == 9
+        assert args.replications == 3
+        assert args.workers == 2
+
+    def test_overhead_has_no_cache_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overhead", "--no-cache"])
+
+    def test_ablations_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["ablations", "--seed", "4", "--replications", "2",
+             "--workers", "8", "--no-cache"])
+        assert args.seed == 4
+        assert args.replications == 2
+        assert args.workers == 8
+        assert args.no_cache
+
+    def test_table1_workers_flag(self):
+        args = build_parser().parse_args(["table1", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_seed_requires_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--seed", "xyz"])
+
     def test_demo_seed(self):
         args = build_parser().parse_args(["demo", "--seed", "9"])
         assert args.seed == 9
@@ -50,6 +95,39 @@ class TestExecution:
     def test_overhead_prints_table(self, capsys):
         assert main(["overhead"]) == 0
         assert "coordinated" in capsys.readouterr().out
+
+    def test_overhead_seed_override_changes_nothing_structural(self, capsys):
+        assert main(["overhead", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinated" in out and "write-through" in out
+
+    def test_fig7_with_campaign_flags(self, capsys, tmp_path, monkeypatch):
+        import dataclasses
+        import repro.experiments.figure7 as fig7mod
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        real_run = fig7mod.run_figure7
+
+        seen = {}
+
+        def tiny_run(config, **kwargs):
+            seen["config"] = config
+            seen["kwargs"] = kwargs
+            config = dataclasses.replace(config, internal_rates=(100,),
+                                         horizon=500.0)
+            return real_run(config, **kwargs)
+
+        monkeypatch.setattr(fig7mod, "run_figure7", tiny_run)
+        assert main(["fig7", "--seed", "7", "--replications", "2",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        # The CLI flags reached the harness...
+        assert seen["config"].seed == 7
+        assert seen["config"].replications == 2
+        assert seen["kwargs"]["workers"] == 2
+        assert seen["kwargs"]["cache"] is not None
+        # ...and the campaign cells landed in the cache directory.
+        assert list(tmp_path.glob("*.json"))
 
 
     def test_timeline_renders(self, capsys):
