@@ -1,0 +1,183 @@
+"""Checkpoint capture cost under the sectioned snapshot pipeline.
+
+Measures, on the Fig. 7 default workload (coordinated scheme, the
+middle of the swept internal-rate range), what one checkpoint costs:
+
+* steady-state (fault-free) volatile/stable bytes per save, full
+  pickling versus incremental (delta) capture — asserting the
+  pipeline's headline claim that incremental capture cuts volatile
+  checkpoint bytes by **at least 2x**;
+* the same volume under every registered codec;
+* that codec choice and capture mode are pure representation: a
+  crash-recovery campaign's sample sequence is bit-for-bit identical
+  across codecs, across full/incremental capture, and across serial
+  vs ``workers=2`` execution.
+
+Runnable directly for the CI smoke artifact::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_cost.py --json cost.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import functools
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.coordination.scheme import Scheme, build_system
+from repro.experiments.figure7 import Figure7Config, _crash_plans, _system_config
+from repro.experiments.runner import run_campaign
+from repro.snapshot import available_codecs
+
+#: Fig. 7 default sweep midpoint and master seed.
+RATE = 100
+SEED = 2001
+STEADY_HORIZON = 20_000.0
+CAMPAIGN_HORIZON = 8_000.0
+
+
+def _steady_config(codec: str, incremental: bool,
+                   horizon: float = STEADY_HORIZON):
+    base = _system_config(Figure7Config(), RATE, Scheme.COORDINATED, SEED)
+    return dataclasses.replace(base, horizon=horizon,
+                               volatile_codec=codec, stable_codec=codec,
+                               incremental_snapshots=incremental)
+
+
+def measure_capture(codec: str = "pickle", incremental: bool = True,
+                    horizon: float = STEADY_HORIZON) -> Dict[str, object]:
+    """Fault-free steady-state checkpoint volume for one configuration."""
+    system = build_system(_steady_config(codec, incremental, horizon))
+    system.run()
+    processes = system.process_list()
+    by_section: Dict[str, int] = {}
+    for p in processes:
+        for section, nbytes in p.node.volatile.bytes_by_section.items():
+            by_section[section] = by_section.get(section, 0) + nbytes
+    volatile_saves = sum(p.node.volatile.saves for p in processes)
+    volatile_bytes = sum(p.node.volatile.bytes_written for p in processes)
+    stable_saves = sum(p.node.stable.saves for p in processes)
+    stable_bytes = sum(p.node.stable.bytes_written for p in processes)
+    return {
+        "codec": codec,
+        "incremental": incremental,
+        "volatile_saves": volatile_saves,
+        "volatile_bytes": volatile_bytes,
+        "volatile_bytes_per_save": volatile_bytes / max(volatile_saves, 1),
+        "volatile_bytes_by_section": by_section,
+        "stable_saves": stable_saves,
+        "stable_bytes": stable_bytes,
+        "stable_bytes_per_save": stable_bytes / max(stable_saves, 1),
+    }
+
+
+def _campaign_cell(codec: str, incremental: bool, seed: int) -> List[float]:
+    """One replication of the determinism campaign: the Fig. 7 fault
+    load at the bench point, returning rollback distances.  Module-level
+    so ``workers=2`` runs can ship it to worker processes."""
+    fig = dataclasses.replace(Figure7Config(), horizon=CAMPAIGN_HORIZON)
+    config = dataclasses.replace(
+        _system_config(fig, RATE, Scheme.COORDINATED, seed),
+        volatile_codec=codec, stable_codec=codec,
+        incremental_snapshots=incremental)
+    system = build_system(config)
+    for plan in _crash_plans(fig, seed):
+        system.inject_crash(plan)
+    system.run()
+    assert system.hw_recovery is not None
+    return system.hw_recovery.distances()
+
+
+def campaign_samples(codec: str, incremental: bool,
+                     workers: Optional[int] = None,
+                     replications: int = 2) -> List[float]:
+    """The campaign's full sample sequence for one configuration."""
+    return run_campaign(
+        "bench.checkpoint_cost", SEED, replications,
+        functools.partial(_campaign_cell, codec, incremental),
+        workers=workers).samples
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_incremental_capture_halves_volatile_bytes(bench_once):
+    full = bench_once(measure_capture, "pickle", False)
+    incremental = measure_capture("pickle", True)
+    ratio = full["volatile_bytes"] / max(incremental["volatile_bytes"], 1)
+    print()
+    print(f"full:        {full['volatile_bytes_per_save']:.0f} B/save "
+          f"over {full['volatile_saves']} saves")
+    print(f"incremental: {incremental['volatile_bytes_per_save']:.0f} B/save "
+          f"over {incremental['volatile_saves']} saves")
+    print(f"reduction:   {ratio:.2f}x")
+    # The acceptance criterion: >= 2x fewer steady-state volatile bytes.
+    assert ratio >= 2.0
+    # Identical capture schedule — the encoder only changes representation.
+    assert full["volatile_saves"] == incremental["volatile_saves"]
+
+
+def test_codec_choice_is_pure_representation():
+    """The campaign sample sequence is bit-for-bit identical across
+    codecs, capture modes, and serial vs 2-worker execution."""
+    reference = campaign_samples("pickle", True)
+    assert reference, "campaign produced no samples"
+    assert campaign_samples("pickle", False) == reference
+    for codec in available_codecs():
+        assert campaign_samples(codec, True) == reference, codec
+    assert campaign_samples("pickle", True, workers=2) == reference
+
+
+# ----------------------------------------------------------------------
+# CI smoke artifact
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the measurement record to PATH")
+    parser.add_argument("--horizon", type=float, default=STEADY_HORIZON)
+    args = parser.parse_args(argv)
+
+    runs = [measure_capture(codec, incremental, args.horizon)
+            for codec in available_codecs()
+            for incremental in (False, True)]
+    full = next(r for r in runs
+                if r["codec"] == "pickle" and not r["incremental"])
+    incr = next(r for r in runs
+                if r["codec"] == "pickle" and r["incremental"])
+    ratio = full["volatile_bytes"] / max(incr["volatile_bytes"], 1)
+
+    reference = campaign_samples("pickle", True)
+    deterministic = (campaign_samples("zpickle", True) == reference
+                     and campaign_samples("pickle", False) == reference
+                     and campaign_samples("pickle", True, workers=2)
+                     == reference)
+
+    record = {
+        "workload": {"experiment": "figure7", "rate": RATE, "seed": SEED,
+                     "scheme": Scheme.COORDINATED.value,
+                     "horizon": args.horizon},
+        "runs": runs,
+        "volatile_reduction_ratio": ratio,
+        "campaign_deterministic": deterministic,
+    }
+    text = json.dumps(record, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    if ratio < 2.0:
+        print(f"FAIL: volatile reduction {ratio:.2f}x < 2x", file=sys.stderr)
+        return 1
+    if not deterministic:
+        print("FAIL: codec choice perturbed the campaign sample sequence",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,55 @@ def _cmd_ablations(args) -> int:
     return 0
 
 
+def _cmd_snapshot_stats(args) -> int:
+    from .app.workload import WorkloadConfig
+    from .coordination.scheme import Scheme, SystemConfig, build_system
+    from .experiments.reporting import format_table
+    from .snapshot import available_codecs
+    from .snapshot.sections import SECTION_ORDER
+
+    horizon = args.horizon
+    system = build_system(SystemConfig(
+        scheme=Scheme(args.scheme), seed=args.seed, horizon=horizon,
+        volatile_codec=args.codec, stable_codec=args.codec,
+        incremental_snapshots=not args.full_snapshots,
+        workload1=WorkloadConfig(internal_rate=0.1, external_rate=0.02,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=0.05, external_rate=0.02,
+                                 step_rate=0.02, horizon=horizon)))
+    system.run()
+
+    mode = "full" if args.full_snapshots else "incremental"
+    print(f"scheme={args.scheme} seed={args.seed} horizon={horizon:.0f}s "
+          f"codec={args.codec} capture={mode} "
+          f"(codecs available: {', '.join(available_codecs())})\n")
+    rows = []
+    for p in system.process_list():
+        for store_name, store in (("volatile", p.node.volatile),
+                                  ("stable", p.node.stable)):
+            if store.saves == 0:
+                continue
+            rows.append([str(p.process_id), store_name, store.saves,
+                         f"{store.bytes_written / 1024.0:.1f}"]
+                        + [f"{store.bytes_by_section.get(s, 0) / 1024.0:.1f}"
+                           for s in SECTION_ORDER])
+    print(format_table(
+        ["process", "store", "saves", "total KiB"] + list(SECTION_ORDER),
+        rows, title="Checkpoint bytes by snapshot section (KiB)"))
+    enc_rows = []
+    for p in system.process_list():
+        enc = p.snapshot_encoder
+        for section in ("journals", "msg_log"):
+            enc_rows.append([str(p.process_id), section,
+                             enc.full_encodes.get(section, 0),
+                             enc.delta_encodes.get(section, 0)])
+    print()
+    print(format_table(["process", "section", "full captures",
+                        "delta captures"], enc_rows,
+                       title="Incremental-capture engagement"))
+    return 0
+
+
 def _cmd_report(_args) -> int:
     from .experiments.report import generate_report
     print(generate_report())
@@ -226,6 +275,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("report", help="regenerate the full reproduction "
                    "report in one run").set_defaults(fn=_cmd_report)
+
+    snapstats = sub.add_parser(
+        "snapshot-stats",
+        help="run a short seeded scenario and print the per-section "
+             "checkpoint byte table")
+    snapstats.add_argument("--scheme", default="coordinated",
+                           choices=["mdcd-only", "coordinated", "naive",
+                                    "write-through"])
+    snapstats.add_argument("--seed", type=int, default=7)
+    snapstats.add_argument("--horizon", type=float, default=3_000.0)
+    from .snapshot import available_codecs
+    snapstats.add_argument("--codec", default="pickle",
+                           choices=sorted(available_codecs()),
+                           help="snapshot codec for both stores")
+    snapstats.add_argument("--full-snapshots", action="store_true",
+                           help="disable incremental (delta) capture")
+    snapstats.set_defaults(fn=_cmd_snapshot_stats)
 
     timeline = sub.add_parser(
         "timeline", help="render a Fig. 1/3-style execution timeline")

@@ -1,12 +1,14 @@
 """Global-state capture: turning checkpoint lines into checkable views.
 
 A *line* is one checkpoint per in-service process — the state the system
-would restart from.  :class:`ProcessView` unpickles a checkpoint into
-the underlying :class:`~repro.host.ProcessSnapshot` plus the metadata
-the invariant checkers need (epoch, dirty bit at snapshot time,
-ground-truth corruption).  Lines can be built from stable storage (the
-hardware recovery line), from volatile storage (the MDCD recovery
-anchors), or from the live process states (for end-of-run oracles).
+would restart from.  :class:`ProcessView` decodes a checkpoint (through
+the codec registry of :mod:`repro.snapshot`, replaying any delta
+chains) into the underlying :class:`~repro.host.ProcessSnapshot` plus
+the metadata the invariant checkers need (epoch, dirty bit at snapshot
+time, ground-truth corruption, the per-section byte breakdown).  Lines
+can be built from stable storage (the hardware recovery line), from
+volatile storage (the MDCD recovery anchors), or from the live process
+states (for end-of-run oracles).
 """
 
 from __future__ import annotations
@@ -30,6 +32,9 @@ class ProcessView:
     epoch: Optional[int] = None
     kind: Optional[str] = None
     meta: Dict = dataclasses.field(default_factory=dict)
+    #: Accounted bytes per snapshot section of the source checkpoint
+    #: (empty for live views, which never encode).
+    section_bytes: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def dirty_bit(self) -> int:
@@ -45,7 +50,8 @@ class ProcessView:
 
 
 def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
-    """Unpickle a checkpoint into a view."""
+    """Decode a checkpoint into a view (codec-registry lookup plus
+    delta-chain replay happen inside ``restore_state``)."""
     return ProcessView(
         process_id=checkpoint.process_id,
         snapshot=checkpoint.restore_state(),
@@ -53,7 +59,8 @@ def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
         work_done=checkpoint.work_done,
         epoch=checkpoint.epoch,
         kind=checkpoint.kind.value,
-        meta=dict(checkpoint.meta))
+        meta=dict(checkpoint.meta),
+        section_bytes=checkpoint.section_sizes())
 
 
 def live_view(process: FtProcess) -> ProcessView:

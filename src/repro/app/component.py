@@ -49,6 +49,10 @@ class AppState:
         this state (directly or via a received corrupt payload).
     """
 
+    #: Snapshot section this state is encoded under (see
+    #: :mod:`repro.snapshot.sections`).
+    snapshot_section = "app"
+
     value: int = 0
     inputs_applied: int = 0
     steps_applied: int = 0

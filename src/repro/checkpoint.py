@@ -1,19 +1,27 @@
 """Checkpoint records.
 
-A :class:`Checkpoint` freezes a process state via :mod:`pickle` so that
-restoring it cannot alias live objects — exactly the isolation property
-real volatile/stable checkpoints have.  The same record type is used for
-the MDCD protocol's volatile checkpoints (Type-1 / Type-2 / pseudo) and
-the TB protocols' stable checkpoints; the ``kind``, ``epoch`` and
-``content`` fields say which flavour a given record is.
+A :class:`Checkpoint` freezes a process state through the
+:mod:`~repro.snapshot` pipeline so that restoring it cannot alias live
+objects — exactly the isolation property real volatile/stable
+checkpoints have.  The same record type is used for the MDCD protocol's
+volatile checkpoints (Type-1 / Type-2 / pseudo) and the TB protocols'
+stable checkpoints; the ``kind``, ``epoch`` and ``content`` fields say
+which flavour a given record is.
+
+The record no longer holds raw pickled bytes: it wraps a
+:class:`~repro.snapshot.sections.SnapshotPayload` — per-section encoded
+data tagged with the codec id that produced it — so stores can account
+bytes per section, incremental captures can chain deltas, and the codec
+can change between runs without changing this record type.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import pickle
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from .snapshot import Codec, SnapshotPayload, decode_payload, encode_full
+from .snapshot.sections import SnapshotEncoder
 from .types import CheckpointKind, ProcessId, StableContent
 
 
@@ -34,8 +42,10 @@ class Checkpoint:
         The process's accumulated computation (in work-seconds) at the
         moment of the snapshot — the quantity rollback distance is
         measured in (paper Fig. 7).
-    state_bytes:
-        The pickled process state.
+    payload:
+        The encoded state: one
+        :class:`~repro.snapshot.sections.SectionPayload` per snapshot
+        section, each carrying its codec id and accounted byte size.
     epoch:
         For stable checkpoints, the TB epoch number ``Ndc`` this
         establishment belongs to; ``None`` for volatile checkpoints.
@@ -52,7 +62,7 @@ class Checkpoint:
     kind: CheckpointKind
     taken_at: float
     work_done: float
-    state_bytes: bytes
+    payload: SnapshotPayload
     epoch: Optional[int] = None
     content: Optional[StableContent] = None
     meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
@@ -61,23 +71,56 @@ class Checkpoint:
     def capture(cls, process_id: ProcessId, kind: CheckpointKind, state: Any,
                 taken_at: float, work_done: float, epoch: Optional[int] = None,
                 content: Optional[StableContent] = None,
-                meta: Optional[Dict[str, Any]] = None) -> "Checkpoint":
-        """Pickle ``state`` and wrap it in a checkpoint record."""
+                meta: Optional[Dict[str, Any]] = None,
+                codec: Union[str, Codec, None] = None,
+                encoder: Optional[SnapshotEncoder] = None) -> "Checkpoint":
+        """Encode ``state`` and wrap it in a checkpoint record.
+
+        ``codec`` selects the byte-level encoding (default: pickle, the
+        seed behaviour).  ``encoder`` is the owning process's
+        :class:`~repro.snapshot.sections.SnapshotEncoder`; when given,
+        the journal and message-log sections may encode as deltas
+        against the process's previous capture.  Without it, the state
+        is encoded whole — arbitrary (non-snapshot) states always are.
+        """
+        if encoder is not None:
+            payload = encoder.encode_snapshot(state, codec)
+        else:
+            payload = encode_full(state, codec)
         return cls(process_id=process_id, kind=kind, taken_at=taken_at,
-                   work_done=work_done,
-                   state_bytes=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+                   work_done=work_done, payload=payload,
                    epoch=epoch, content=content, meta=dict(meta or {}))
 
     def restore_state(self) -> Any:
-        """Unpickle a *fresh copy* of the snapshotted state."""
-        return pickle.loads(self.state_bytes)
+        """Decode a *fresh copy* of the snapshotted state, replaying
+        any delta chains back to their full base sections."""
+        return decode_payload(self.payload)
 
     def rewritten(self, **changes: Any) -> "Checkpoint":
         """A copy with some fields replaced (used when the adapted TB
         protocol swaps checkpoint contents mid-blocking)."""
         return dataclasses.replace(self, **changes)
 
+    def with_section(self, section: str, value: Any,
+                     codec: Union[str, Codec, None] = None) -> "Checkpoint":
+        """A copy with one payload section re-encoded from ``value``
+        (the ``save_unacked`` ablation rewrites the counters section
+        without disturbing the rest)."""
+        return dataclasses.replace(
+            self, payload=self.payload.replace_section(section, value, codec))
+
     @property
     def size_bytes(self) -> int:
-        """Size of the pickled state — a proxy for checkpoint cost."""
-        return len(self.state_bytes)
+        """Accounted size of the encoded state — a proxy for
+        checkpoint cost."""
+        return self.payload.nbytes
+
+    @property
+    def codec_id(self) -> str:
+        """Codec id of the payload (sections share one codec per
+        capture)."""
+        return self.payload.sections[0].codec_id
+
+    def section_sizes(self) -> Dict[str, int]:
+        """Accounted bytes per snapshot section."""
+        return self.payload.section_sizes()

@@ -106,6 +106,17 @@ class SystemConfig:
     #: recovery line survives a laggard establishment; scenario analyses
     #: raise it to audit every historical line).
     stable_history: int = 2
+    #: Snapshot codec ids for the two checkpoint stores (see
+    #: :func:`repro.snapshot.available_codecs`).  Pure representation
+    #: knobs: they cannot perturb the event sequence of a run.
+    volatile_codec: str = "pickle"
+    stable_codec: str = "pickle"
+    #: Size-proportional component of the stable write latency
+    #: (seconds per KiB written); ``0.0`` keeps the fixed-latency model.
+    stable_latency_per_kib: float = 0.0
+    #: Whether journals and message logs encode as deltas against the
+    #: previous capture (full sections when off).
+    incremental_snapshots: bool = True
 
     def with_scheme(self, scheme: Scheme) -> "SystemConfig":
         """Same configuration, different scheme — the paired-comparison
@@ -126,7 +137,10 @@ class System:
 
         self.nodes: Dict[str, Node] = {
             name: Node(NodeId(name), self.sim, config.clock, self.rng,
-                       stable_history=config.stable_history)
+                       stable_history=config.stable_history,
+                       volatile_codec=config.volatile_codec,
+                       stable_codec=config.stable_codec,
+                       stable_latency_per_kib=config.stable_latency_per_kib)
             for name in ("N1a", "N1b", "N2")
         }
 
@@ -174,6 +188,7 @@ class System:
             role=role, trace=self.trace)
         process.journal_retention = max(self.config.journal_retention,
                                         4.0 * self.config.tb.interval)
+        process.snapshot_encoder.incremental = self.config.incremental_snapshots
         self.processes[role] = process
 
     def _wire_engines(self) -> None:

@@ -64,6 +64,12 @@ class OverheadObservation:
     stable_kb_per_hour: float
     notifications_per_app_message: float
     at_runs: int
+    #: Checkpoint KiB/h by checkpoint kind (type-1/type-2/pseudo/
+    #: stable), merged over the volatile and stable stores — the new
+    #: snapshot-pipeline accounting.
+    kib_per_hour_by_kind: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Checkpoint KiB/h by snapshot section (app/mdcd/journals/...).
+    kib_per_hour_by_section: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def as_row(self) -> List:
         """The observation as a report-table row."""
@@ -117,6 +123,15 @@ def measure_scheme(config: OverheadConfig, scheme: Scheme) -> OverheadObservatio
     at_runs = sum(p.counters.get("at.pass") + p.counters.get("at.fail")
                   for p in system.process_list())
     hours = horizon / 3600.0
+    by_kind: Dict[str, float] = {}
+    by_section: Dict[str, float] = {}
+    for p in system.process_list():
+        for store in (p.node.volatile, p.node.stable):
+            for kind, nbytes in store.bytes_by_kind.items():
+                by_kind[kind] = by_kind.get(kind, 0.0) + nbytes / 1024.0 / hours
+            for section, nbytes in store.bytes_by_section.items():
+                by_section[section] = (by_section.get(section, 0.0)
+                                       + nbytes / 1024.0 / hours)
     return OverheadObservation(
         scheme=scheme.value,
         blocked_time_fraction=blocked_time / process_time,
@@ -128,7 +143,9 @@ def measure_scheme(config: OverheadConfig, scheme: Scheme) -> OverheadObservatio
         stable_kb_per_hour=stable_bytes / 1024.0 / hours,
         notifications_per_app_message=(notifications / app_messages
                                        if app_messages else 0.0),
-        at_runs=at_runs)
+        at_runs=at_runs,
+        kib_per_hour_by_kind=by_kind,
+        kib_per_hour_by_section=by_section)
 
 
 def _measure_cell(config: OverheadConfig, cell) -> OverheadObservation:
@@ -141,12 +158,20 @@ def _measure_cell(config: OverheadConfig, cell) -> OverheadObservation:
 def _mean_observations(scheme: Scheme,
                        observations: List[OverheadObservation]
                        ) -> OverheadObservation:
-    """Field-wise mean cost profile over replications."""
+    """Field-wise mean cost profile over replications (dict-valued
+    fields average key-wise, treating a missing key as zero)."""
     n = len(observations)
-    fields = [f.name for f in dataclasses.fields(OverheadObservation)
-              if f.name != "scheme"]
-    means = {name: sum(getattr(o, name) for o in observations) / n
-             for name in fields}
+    means = {}
+    for field in dataclasses.fields(OverheadObservation):
+        if field.name == "scheme":
+            continue
+        values = [getattr(o, field.name) for o in observations]
+        if isinstance(values[0], dict):
+            keys = sorted({k for v in values for k in v})
+            means[field.name] = {k: sum(v.get(k, 0.0) for v in values) / n
+                                 for k in keys}
+        else:
+            means[field.name] = sum(values) / n
     for name in ("deferred_sends", "buffered_deliveries", "at_runs"):
         means[name] = round(means[name])
     return OverheadObservation(scheme=scheme.value, **means)
@@ -174,11 +199,34 @@ def run_overhead(config: OverheadConfig = OverheadConfig(), *,
             for scheme, obs_list in by_scheme.items()}
 
 
+def _format_breakdown(observations: Dict[str, OverheadObservation],
+                      field: str, title: str) -> str:
+    """One breakdown table: schemes as rows, dict keys as columns."""
+    keys = sorted({k for obs in observations.values()
+                   for k in getattr(obs, field)})
+    if not keys:
+        return ""
+    rows = [[obs.scheme] + [f"{getattr(obs, field).get(k, 0.0):.1f}"
+                            for k in keys]
+            for obs in observations.values()]
+    return format_table(["scheme"] + keys, rows, title=title)
+
+
 def format_overhead(observations: Dict[str, OverheadObservation]) -> str:
-    """Render the comparison table."""
-    return format_table(
+    """Render the comparison table plus the checkpoint-byte breakdowns
+    (where do checkpoint bytes go, by kind and by snapshot section)."""
+    parts = [format_table(
         ["scheme", "blocked time", "deferred sends", "buffered recv",
          "vol saves/h", "vol KiB/h", "stable saves/h", "stable KiB/h",
          "notif/app-msg", "AT runs"],
         [obs.as_row() for obs in observations.values()],
-        title="Performance cost by scheme (identical fault-free workload)")
+        title="Performance cost by scheme (identical fault-free workload)")]
+    for field, title in (
+            ("kib_per_hour_by_kind",
+             "Checkpoint KiB/h by checkpoint kind"),
+            ("kib_per_hour_by_section",
+             "Checkpoint KiB/h by snapshot section")):
+        table = _format_breakdown(observations, field, title)
+        if table:
+            parts.append(table)
+    return "\n\n".join(parts)

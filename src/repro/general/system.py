@@ -59,6 +59,12 @@ class GeneralSystemConfig:
     at: AcceptanceTestConfig = dataclasses.field(default_factory=AcceptanceTestConfig)
     trace_enabled: bool = True
     stable_history: int = 2
+    #: Snapshot pipeline knobs (same semantics as
+    #: :class:`~repro.coordination.scheme.SystemConfig`).
+    volatile_codec: str = "pickle"
+    stable_codec: str = "pickle"
+    stable_latency_per_kib: float = 0.0
+    incremental_snapshots: bool = True
 
     def __post_init__(self) -> None:
         if self.n_peers < 1:
@@ -114,7 +120,10 @@ class GeneralSystem:
     def _build(self, process_id: str, node_name: str, version,
                actions, driver_name: str) -> FtProcess:
         node = Node(NodeId(node_name), self.sim, self.config.clock, self.rng,
-                    stable_history=self.config.stable_history)
+                    stable_history=self.config.stable_history,
+                    volatile_codec=self.config.volatile_codec,
+                    stable_codec=self.config.stable_codec,
+                    stable_latency_per_kib=self.config.stable_latency_per_kib)
         self.nodes[node_name] = node
         component = ApplicationComponent(f"{process_id}-component", version)
         process = FtProcess(ProcessId(process_id), node, self.network,
@@ -130,6 +139,7 @@ class GeneralSystem:
         # per-destination sequence numbers let receivers deduplicate a
         # rolled-back sender's regenerated message stream.
         process.replay_dedup = True
+        process.snapshot_encoder.incremental = self.config.incremental_snapshots
         return process
 
     def _wire_engines(self) -> None:

@@ -31,6 +31,7 @@ from .messages.message import DEVICE, Message, passed_at_notification
 from .messages.sequence import AckTracker, ReceiveDeduplicator, SequenceAllocator
 from .mdcd.state import MdcdState
 from .sim.monitor import CounterSet
+from .snapshot.sections import SnapshotEncoder
 from .sim.network import Network
 from .sim.node import Node
 from .sim.process import SimProcess
@@ -60,8 +61,11 @@ class IncarnationCounter:
 class ProcessSnapshot:
     """Everything a checkpoint freezes for one process.
 
-    Pickled by :class:`~repro.checkpoint.Checkpoint`; restoring a
-    snapshot restores the application state, the protocol knowledge
+    Encoded by :class:`~repro.checkpoint.Checkpoint` through the
+    :mod:`~repro.snapshot` pipeline, which groups the fields into
+    sections by each value's ``snapshot_section`` declaration (the
+    undeclared bookkeeping fields form the ``counters`` section);
+    restoring a snapshot restores the application state, the protocol knowledge
     (MDCD state, journals, the shadow's log), the message bookkeeping
     (sequence counter, dedup set, unacknowledged messages), and the
     workload cursor so re-execution resumes from the right action.
@@ -136,6 +140,11 @@ class FtProcess(SimProcess):
         #: garbage-collects them.  Must comfortably exceed the stable
         #: checkpoint interval plus message-delay bounds.
         self.journal_retention: float = 600.0
+        #: Per-process snapshot encoder: remembers the previous capture
+        #: so journals and the message log encode as deltas.  Set
+        #: ``incremental=False`` (via the system configs) to force full
+        #: sections on every capture.
+        self.snapshot_encoder = SnapshotEncoder()
         self._buffer: List[Message] = []
         self._deferred_actions: List[Action] = []
         self._pending_notifications: List[Message] = []
@@ -509,10 +518,13 @@ class FtProcess(SimProcess):
         base_meta = {"dirty_bit": self.mdcd.dirty_bit,
                      "pseudo_dirty_bit": self.mdcd.pseudo_dirty_bit}
         base_meta.update(meta or {})
+        store = self.node.stable if kind is CheckpointKind.STABLE \
+            else self.node.volatile
         return Checkpoint.capture(
             process_id=self.process_id, kind=kind, state=self.make_snapshot(),
             taken_at=self.sim.now, work_done=self.progress, epoch=epoch,
-            content=content, meta=base_meta)
+            content=content, meta=base_meta, codec=store.codec,
+            encoder=self.snapshot_encoder)
 
     def take_volatile_checkpoint(self, kind: CheckpointKind,
                                  meta: Optional[Dict[str, Any]] = None) -> Checkpoint:
@@ -569,6 +581,9 @@ class FtProcess(SimProcess):
         self._deferred_actions = []
         self._pending_notifications = []
         self._deferred_acks = {}
+        # The decoded journals/log replace the objects the encoder's
+        # baselines describe: the next capture must emit full sections.
+        self.snapshot_encoder.reset()
         self._progress_offset = self.sim.now - checkpoint.work_done
         self.driver.rewind_to(snapshot.cursor)
         self.counters.bump(f"rollback.{reason}")

@@ -65,8 +65,13 @@ class JournalRecord:
 class Journal:
     """An ordered set of :class:`JournalRecord`, keyed by logical id.
 
-    Plain data; pickled as part of checkpoints.
+    Plain data; encoded as part of checkpoints (the ``journals``
+    snapshot section, which supports delta capture — see
+    :mod:`repro.snapshot.delta`).
     """
+
+    #: Snapshot section this state is encoded under.
+    snapshot_section = "journals"
 
     def __init__(self) -> None:
         self._records: Dict[int, JournalRecord] = {}
@@ -171,3 +176,13 @@ class Journal:
 
     def __contains__(self, key: int) -> bool:
         return key in self._records
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality (records in order + pruning horizon) — what
+        the snapshot round-trip property tests compare."""
+        if not isinstance(other, Journal):
+            return NotImplemented
+        return (list(self._records.items()) == list(other._records.items())
+                and self.pruned_before == other.pruned_before)
+
+    __hash__ = None  # mutable container

@@ -66,6 +66,10 @@ class MdcdState:
     #: even if the messages' own provenance is covered by a validation.
     dirty_sources: Optional[set] = None
 
+    #: Snapshot section this state is encoded under (see
+    #: :mod:`repro.snapshot.sections`).
+    snapshot_section = "mdcd"
+
     def __post_init__(self) -> None:
         if self.dirty_sources is None:
             self.dirty_sources = set()

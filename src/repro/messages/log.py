@@ -37,9 +37,14 @@ class LogEntry:
 class MessageLog:
     """Ordered log of suppressed shadow messages.
 
-    The log participates in checkpoints (it is plain data), so rollback
-    restores it together with the rest of the process state.
+    The log participates in checkpoints (it is plain data, encoded as
+    the ``msg_log`` snapshot section with delta capture — see
+    :mod:`repro.snapshot.delta`), so rollback restores it together with
+    the rest of the process state.
     """
+
+    #: Snapshot section this state is encoded under.
+    snapshot_section = "msg_log"
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
@@ -89,3 +94,13 @@ class MessageLog:
 
     def __iter__(self):
         return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality (entries + reclaim counter) — what the
+        snapshot round-trip property tests compare."""
+        if not isinstance(other, MessageLog):
+            return NotImplemented
+        return (self._entries == other._entries
+                and self.reclaimed_count == other.reclaimed_count)
+
+    __hash__ = None  # mutable container

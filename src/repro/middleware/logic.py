@@ -57,6 +57,10 @@ class LogicState:
     sends are in flight through the engine path.
     """
 
+    #: Snapshot section this state is encoded under (same as
+    #: :class:`~repro.app.component.AppState`).
+    snapshot_section = "app"
+
     data: Dict[str, Any] = dataclasses.field(default_factory=dict)
     corrupt: bool = False
     inputs_applied: int = 0

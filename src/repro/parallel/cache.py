@@ -21,8 +21,20 @@ import enum
 import hashlib
 import json
 import os
+import pickle
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+
+def stable_dumps(obj: Any) -> bytes:
+    """One shared ``dumps``: highest-protocol pickling of ``obj``.
+
+    Used both for fingerprint digests (over :func:`_canonical` views,
+    whose sorted plain containers pickle deterministically) and by
+    :func:`repro.parallel.pool._picklable` to probe whether a task can
+    cross a process boundary.
+    """
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def _canonical(obj: Any) -> Any:
@@ -47,9 +59,7 @@ def _canonical(obj: Any) -> Any:
 
 def config_fingerprint(config: Any) -> str:
     """Stable hex digest of an arbitrary configuration object."""
-    payload = json.dumps(_canonical(config), sort_keys=True,
-                         separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return hashlib.sha256(stable_dumps(_canonical(config))).hexdigest()[:16]
 
 
 def campaign_fingerprint(config: Any) -> str:

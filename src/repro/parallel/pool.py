@@ -31,7 +31,7 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.monitor import RunningStat, summarize
-from .cache import CacheKey, ResultCache
+from .cache import CacheKey, ResultCache, stable_dumps
 from .progress import ProgressReporter
 from .supervisor import ShardSupervisor, SupervisorConfig
 
@@ -181,9 +181,8 @@ class ParallelCampaignRunner:
 
 
 def _picklable(obj: Any) -> bool:
-    import pickle
     try:
-        pickle.dumps(obj)
+        stable_dumps(obj)
         return True
     except Exception:
         return False

@@ -6,32 +6,61 @@ paper footnote 1); a node crash wipes volatile storage.  Stable storage
 survives crashes and retains a short history of checkpoint epochs so
 that hardware recovery can fall back to the last *complete* global line
 even if a crash interrupts an establishment.
+
+Each store owns the :class:`~repro.snapshot.codec.Codec` its
+checkpoints are encoded with (threaded down from the system configs)
+and keeps byte accounting behind the snapshot pipeline: totals, a
+per-checkpoint-kind breakdown, and a per-section breakdown — the raw
+material of the overhead report's "where do checkpoint bytes go" table.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..checkpoint import Checkpoint
 from ..errors import StorageError
+from ..snapshot import Codec, get_codec
 from ..types import ProcessId
 
 
-class VolatileStore:
-    """Per-node RAM checkpoint store — most-recent-only, crash-erasable."""
+class _AccountingMixin:
+    """Shared byte accounting for checkpoint stores."""
 
-    def __init__(self) -> None:
-        self._latest: Dict[ProcessId, Checkpoint] = {}
+    def _init_accounting(self, codec: Union[str, Codec, None]) -> None:
+        #: The codec checkpoints written to this store are encoded with.
+        self.codec: Codec = get_codec(codec)
         #: Number of checkpoints saved over the store's lifetime.
         self.saves: int = 0
-        #: Total pickled bytes written (a performance-cost proxy).
+        #: Total accounted bytes written (a performance-cost proxy).
         self.bytes_written: int = 0
+        #: Accounted bytes per checkpoint kind (Type-1/Type-2/...).
+        self.bytes_by_kind: Dict[str, int] = {}
+        #: Accounted bytes per snapshot section (app/mdcd/journals/...).
+        self.bytes_by_section: Dict[str, int] = {}
+
+    def _account(self, checkpoint: Checkpoint) -> None:
+        self.saves += 1
+        self.bytes_written += checkpoint.size_bytes
+        kind = checkpoint.kind.value
+        self.bytes_by_kind[kind] = (
+            self.bytes_by_kind.get(kind, 0) + checkpoint.size_bytes)
+        for section, nbytes in checkpoint.section_sizes().items():
+            self.bytes_by_section[section] = (
+                self.bytes_by_section.get(section, 0) + nbytes)
+
+
+class VolatileStore(_AccountingMixin):
+    """Per-node RAM checkpoint store — most-recent-only, crash-erasable."""
+
+    def __init__(self, codec: Union[str, Codec, None] = None) -> None:
+        self._latest: Dict[ProcessId, Checkpoint] = {}
+        self._init_accounting(codec)
 
     def save(self, checkpoint: Checkpoint) -> None:
         """Replace the owner's volatile checkpoint with ``checkpoint``."""
         self._latest[checkpoint.process_id] = checkpoint
-        self.saves += 1
-        self.bytes_written += checkpoint.size_bytes
+        self._account(checkpoint)
 
     def load(self, process_id: ProcessId) -> Checkpoint:
         """The most recent volatile checkpoint of ``process_id``.
@@ -53,32 +82,46 @@ class VolatileStore:
         self._latest.clear()
 
 
-class StableStore:
+class StableStore(_AccountingMixin):
     """Per-node disk checkpoint store with bounded epoch history.
 
-    ``write_latency`` models the wall-clock cost of writing a snapshot;
-    the TB protocols' blocking periods overlap this write (paper
-    Section 2.2), so the protocol engines read the attribute when
-    sequencing establishment completion.
+    ``write_latency`` models the fixed wall-clock cost of writing a
+    snapshot; the TB protocols' blocking periods overlap this write
+    (paper Section 2.2), so the protocol engines read the attribute
+    when sequencing establishment completion.  ``latency_per_kib``
+    optionally makes the write cost size-proportional — it defaults to
+    ``0.0`` so existing experiments keep the seed's fixed-latency
+    behaviour; :meth:`write_latency_for` folds both together.
     """
 
-    def __init__(self, history: int = 2, write_latency: float = 0.05) -> None:
+    def __init__(self, history: int = 2, write_latency: float = 0.05,
+                 codec: Union[str, Codec, None] = None,
+                 latency_per_kib: float = 0.0) -> None:
         if history < 1:
             raise StorageError("stable store must retain at least one checkpoint")
+        if latency_per_kib < 0:
+            raise StorageError("latency_per_kib must be non-negative")
         self._history = history
         self._chain: Dict[ProcessId, List[Checkpoint]] = {}
         self.write_latency = write_latency
-        self.saves: int = 0
-        #: Total pickled bytes written (a performance-cost proxy).
-        self.bytes_written: int = 0
+        self.latency_per_kib = latency_per_kib
+        self._init_accounting(codec)
+
+    def write_latency_for(self, checkpoint: Optional[Checkpoint]) -> float:
+        """The modelled wall-clock cost of writing ``checkpoint``:
+        the fixed floor plus the size-proportional component (if
+        enabled).  ``None`` — size unknown yet — prices at the floor."""
+        latency = self.write_latency
+        if checkpoint is not None and self.latency_per_kib > 0.0:
+            latency += self.latency_per_kib * (checkpoint.size_bytes / 1024.0)
+        return latency
 
     def save(self, checkpoint: Checkpoint) -> None:
         """Append a completed stable checkpoint, trimming old epochs."""
         chain = self._chain.setdefault(checkpoint.process_id, [])
         chain.append(checkpoint)
         del chain[:-self._history]
-        self.saves += 1
-        self.bytes_written += checkpoint.size_bytes
+        self._account(checkpoint)
 
     def latest(self, process_id: ProcessId) -> Checkpoint:
         """Most recent completed stable checkpoint of ``process_id``."""

@@ -80,7 +80,8 @@ class AdaptedTbEngine(TbEngineBase):
                           "copied_taken_at": rckpt.taken_at})
         return PendingEstablishment(
             epoch=epoch, initial=initial, match_bit=bit,
-            started_at=self.sim.now, blocking_len=self._blocking_len(bit))
+            started_at=self.sim.now,
+            blocking_len=self._blocking_len(bit, initial))
 
     def _final_checkpoint(self, pending: PendingEstablishment) -> Checkpoint:
         """The ``write_disk`` third-argument semantics: if the bit no

@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..checkpoint import Checkpoint
 from ..messages.message import Message
+from ..snapshot.sections import split_sections
 from ..sim.clock import ClockConfig
 from ..sim.events import EventPriority
 from ..sim.network import NetworkConfig
@@ -224,24 +225,26 @@ class TbEngineBase:
         checkpoint = self.process.capture_checkpoint(
             CheckpointKind.STABLE, epoch=epoch, content=content, meta=meta)
         if not self.config.save_unacked:
+            # Rewrite only the counters section (where ``unacked``
+            # lives); the other sections — including any delta-encoded
+            # journals — keep their payloads.
             snapshot = checkpoint.restore_state()
             snapshot.unacked = []
-            checkpoint = Checkpoint.capture(
-                process_id=checkpoint.process_id, kind=checkpoint.kind,
-                state=snapshot, taken_at=checkpoint.taken_at,
-                work_done=checkpoint.work_done, epoch=checkpoint.epoch,
-                content=checkpoint.content, meta=checkpoint.meta)
+            counters = split_sections(snapshot).get("counters", {})
+            checkpoint = checkpoint.with_section("counters", counters)
         return checkpoint
 
-    def _blocking_len(self, dirty_bit: int) -> float:
+    def _blocking_len(self, dirty_bit: int,
+                      checkpoint: Optional[Checkpoint] = None) -> float:
+        write_latency = self.process.node.stable.write_latency_for(checkpoint)
         if not self.config.blocking_enabled:
             # Fig. 2(a) ablation: the write still takes its latency, but
             # no message blocking protects the establishment.
-            return self.process.node.stable.write_latency
+            return write_latency
         return blocking_period(dirty_bit, self.clock_config,
                                self.clock.elapsed_since_resync(),
                                self.net_config,
-                               floor=self.process.node.stable.write_latency)
+                               floor=write_latency)
 
     def _abort_pending(self, reason: str) -> None:
         if self._pending is not None:

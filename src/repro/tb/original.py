@@ -37,4 +37,5 @@ class OriginalTbEngine(TbEngineBase):
         # length is tau(0) = delta + 2*rho*tau - t_min.
         return PendingEstablishment(
             epoch=epoch, initial=initial, match_bit=0,
-            started_at=self.sim.now, blocking_len=self._blocking_len(0))
+            started_at=self.sim.now,
+            blocking_len=self._blocking_len(0, initial))

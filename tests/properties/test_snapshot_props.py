@@ -1,0 +1,166 @@
+"""Property-based tests for the snapshot pipeline: codec round-trips
+and incremental (delta-chain) capture/restore."""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.app.component import AppState
+from repro.host import ProcessSnapshot
+from repro.journal import Journal
+from repro.mdcd.state import MdcdState
+from repro.messages.log import MessageLog
+from repro.messages.message import Message
+from repro.snapshot import available_codecs, decode_payload, encode_full
+from repro.snapshot.sections import SnapshotEncoder
+from repro.types import MessageKind, ProcessId
+
+
+def make_msg(sn, t=0.0):
+    m = Message(kind=MessageKind.INTERNAL, sender=ProcessId("A"),
+                receiver=ProcessId("B"), sn=sn, dirty_bit=1)
+    m.send_time = t
+    return m
+
+
+@st.composite
+def snapshots(draw):
+    """An arbitrary (consistent-enough) ProcessSnapshot."""
+    journal_sent, journal_recv = Journal(), Journal()
+    for journal in (journal_sent, journal_recv):
+        for sn in draw(st.lists(st.integers(1, 60), unique=True,
+                                max_size=10)):
+            journal.add(make_msg(sn), validated=draw(st.booleans()),
+                        time=float(sn))
+        journal.pruned_before = draw(st.floats(0.0, 10.0))
+    log = MessageLog()
+    for sn in sorted(draw(st.lists(st.integers(1, 60), unique=True,
+                                   max_size=8))):
+        log.append(sn, make_msg(sn))
+    log.reclaimed_count = draw(st.integers(0, 5))
+    return ProcessSnapshot(
+        app_state=AppState(value=draw(st.integers(-9, 9)),
+                           inputs_applied=draw(st.integers(0, 9)),
+                           steps_applied=draw(st.integers(0, 9)),
+                           corrupt=draw(st.booleans())),
+        mdcd=MdcdState(dirty_bit=draw(st.integers(0, 1)),
+                       pseudo_dirty_bit=draw(st.integers(0, 1)),
+                       vr=draw(st.none() | st.integers(0, 60)),
+                       guarded=draw(st.booleans())),
+        sn_value=draw(st.integers(0, 99)),
+        dedup_seen=set(draw(st.lists(st.integers(0, 99), max_size=6))),
+        unacked=[make_msg(sn) for sn in draw(
+            st.lists(st.integers(1, 30), unique=True, max_size=4))],
+        journal_sent=journal_sent,
+        journal_recv=journal_recv,
+        msg_log=log,
+        cursor=draw(st.integers(0, 99)))
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_decode_encode_identity_for_every_codec(self, snapshot):
+        for codec in available_codecs():
+            restored = decode_payload(encode_full(snapshot, codec))
+            assert restored == snapshot, codec
+            # and the restore is private (no aliasing into the capture)
+            assert restored.journal_sent is not snapshot.journal_sent
+
+    @settings(max_examples=25, deadline=None)
+    @given(snapshots())
+    def test_opaque_roundtrip_for_every_codec(self, snapshot):
+        state = {"snapshot": snapshot, "tag": 7}
+        for codec in available_codecs():
+            assert decode_payload(encode_full(state, codec)) == state, codec
+
+
+#: One mutation step of the live journals/log between captures.
+_ops = st.lists(st.one_of(
+    st.just(("send",)),
+    st.tuples(st.just("validate"), st.integers(0, 80)),
+    st.tuples(st.just("prune"), st.floats(0.0, 80.0)),
+    st.tuples(st.just("reclaim"), st.integers(0, 80)),
+    st.just(("clear",)),                    # sn restart -> full fallback
+    st.tuples(st.just("capture"), st.sampled_from(
+        ("pickle", "zpickle", "null"))),
+    st.just(("recover",)),                  # restore + encoder reset
+), max_size=30)
+
+
+class TestIncrementalCapture:
+    @settings(max_examples=40, deadline=None)
+    @given(_ops, st.integers(1, 5))
+    def test_every_payload_in_the_chain_restores_its_capture(
+            self, ops, max_chain):
+        """Drive random journal/log mutations — including the pruning
+        ``compact_journals`` performs and recovery restores — capturing
+        along the way; every payload must decode to the state it froze,
+        regardless of where its delta chain was cut."""
+        encoder = SnapshotEncoder(max_chain=max_chain)
+        journal = Journal()
+        log = MessageLog()
+        next_key = [1]
+        log_sn = [1]
+
+        def snapshot():
+            return ProcessSnapshot(
+                app_state=AppState(), mdcd=MdcdState(), sn_value=next_key[0],
+                dedup_seen=set(), unacked=[], journal_sent=journal,
+                journal_recv=Journal(), msg_log=log, cursor=0)
+
+        captured = []
+        for op in ops + [("capture", "pickle")]:
+            if op[0] == "send":
+                msg = make_msg(next_key[0], t=float(next_key[0]))
+                journal.add(msg, validated=False, time=float(next_key[0]))
+                log.append(log_sn[0], msg)
+                next_key[0] += 1
+                log_sn[0] += 1
+            elif op[0] == "validate":
+                journal.mark_validated(ProcessId("A"), up_to_sn=op[1])
+            elif op[0] == "prune":
+                journal.prune_validated_before(op[1])
+            elif op[0] == "reclaim":
+                log.reclaim_up_to(op[1])
+            elif op[0] == "clear":
+                log.clear()
+                log_sn[0] = 1   # restart: the delta language gives up
+            elif op[0] == "capture":
+                payload = encoder.encode_snapshot(snapshot(), op[1])
+                captured.append((payload, copy.deepcopy(snapshot())))
+            elif op[0] == "recover":
+                if not captured:
+                    continue
+                restored = decode_payload(captured[-1][0])
+                journal = restored.journal_sent
+                log = restored.msg_log
+                # The real system restores its sn counter from the
+                # snapshot too — resync past the restored log's tail.
+                log_sn[0] = (log._entries[-1].sn + 1) if log._entries else 1
+                encoder.reset()
+
+        for payload, expected in captured:
+            assert decode_payload(payload) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(1, 4))
+    def test_chain_depth_is_bounded(self, captures, max_chain):
+        """No payload's delta chain exceeds ``max_chain`` links."""
+        encoder = SnapshotEncoder(max_chain=max_chain)
+        journal = Journal()
+        log = MessageLog()
+        payloads = []
+        for k in range(1, captures + 1):
+            journal.add(make_msg(k), validated=False, time=float(k))
+            log.append(k, make_msg(k))
+            state = ProcessSnapshot(
+                app_state=AppState(), mdcd=MdcdState(), sn_value=k,
+                dedup_seen=set(), unacked=[], journal_sent=journal,
+                journal_recv=Journal(), msg_log=log, cursor=0)
+            payloads.append((encoder.encode_snapshot(state, "pickle"),
+                             copy.deepcopy(state)))
+        for payload, expected in payloads:
+            for section in payload.sections:
+                assert section.depth < max_chain
+            assert decode_payload(payload) == expected

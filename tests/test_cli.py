@@ -13,9 +13,23 @@ class TestParser:
     def test_known_commands_parse(self):
         parser = build_parser()
         for command in ("scenarios", "fig7", "table1", "overhead",
-                        "ablations", "demo", "timeline", "report"):
+                        "ablations", "demo", "timeline", "report",
+                        "snapshot-stats"):
             args = parser.parse_args([command])
             assert callable(args.fn)
+
+    def test_snapshot_stats_flags(self):
+        args = build_parser().parse_args(
+            ["snapshot-stats", "--codec", "zpickle", "--full-snapshots",
+             "--horizon", "500", "--seed", "3"])
+        assert args.codec == "zpickle"
+        assert args.full_snapshots
+        assert args.horizon == 500.0
+        assert args.seed == 3
+
+    def test_snapshot_stats_rejects_unknown_codec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot-stats", "--codec", "bogus"])
 
     def test_fig7_full_flag(self):
         args = build_parser().parse_args(["fig7", "--full"])
@@ -129,6 +143,14 @@ class TestExecution:
         # ...and the campaign cells landed in the cache directory.
         assert list(tmp_path.glob("*.json"))
 
+
+    def test_snapshot_stats_prints_section_table(self, capsys):
+        assert main(["snapshot-stats", "--horizon", "600",
+                     "--codec", "zpickle"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot section" in out
+        for section in ("app", "mdcd", "journals", "msg_log", "counters"):
+            assert section in out
 
     def test_timeline_renders(self, capsys):
         assert main(["timeline", "--scheme", "mdcd-only", "--width", "60"]) == 0
