@@ -170,6 +170,37 @@ def _cmd_snapshot_stats(args) -> int:
     return 0
 
 
+def _cmd_bench_kernel(args) -> int:
+    import json
+    from .experiments.kernel_bench import (
+        bench_record,
+        format_record,
+        write_record,
+    )
+
+    kwargs = dict(repeats=args.repeats)
+    if args.events is not None:
+        kwargs["churn_events"] = args.events
+        kwargs["storm_events"] = args.events
+    if args.horizon is not None:
+        kwargs["campaign_horizon"] = args.horizon
+    if args.quick:
+        kwargs.setdefault("churn_events", 30_000)
+        kwargs.setdefault("storm_events", 30_000)
+        kwargs.setdefault("campaign_horizon", 3_000.0)
+        kwargs["repeats"] = 1
+    record = bench_record(**kwargs)
+    if args.json:
+        write_record(record, args.json)
+    print(format_record(record))
+    ok = (record["determinism"]["all"]
+          and all(bench["identical_execution"]
+                  for bench in record["microbench"].values()))
+    if not ok:
+        print(json.dumps(record["determinism"], indent=2), file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_report(_args) -> int:
     from .experiments.report import generate_report
     print(generate_report())
@@ -275,6 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("report", help="regenerate the full reproduction "
                    "report in one run").set_defaults(fn=_cmd_report)
+
+    bench_kernel = sub.add_parser(
+        "bench-kernel",
+        help="measure event-kernel throughput vs the pinned seed kernel "
+             "and verify representation-knob determinism")
+    bench_kernel.add_argument("--json", metavar="PATH", default=None,
+                              help="write BENCH_kernel.json-style record "
+                                   "to PATH")
+    bench_kernel.add_argument("--events", type=int, default=None,
+                              help="microbench event count")
+    bench_kernel.add_argument("--horizon", type=float, default=None,
+                              help="campaign horizon (seconds)")
+    bench_kernel.add_argument("--repeats", type=int, default=3,
+                              help="timing repetitions (best-of)")
+    bench_kernel.add_argument("--quick", action="store_true",
+                              help="small sizes for a smoke run")
+    bench_kernel.set_defaults(fn=_cmd_bench_kernel)
 
     snapstats = sub.add_parser(
         "snapshot-stats",

@@ -98,6 +98,14 @@ class SystemConfig:
     workload2: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
     at: AcceptanceTestConfig = dataclasses.field(default_factory=AcceptanceTestConfig)
     trace_enabled: bool = True
+    #: Optional category-prefix allowlist for the trace (``None`` keeps
+    #: everything).  Campaign runners that assert over one slice of the
+    #: trace set this so every other record costs nothing.
+    trace_categories: Optional[tuple] = None
+    #: Recycle fired kernel events through a free-list (see
+    #: :class:`repro.sim.events.EventPool`).  Pure representation: the
+    #: kernel bench asserts campaign samples are identical on/off.
+    event_pooling: bool = False
     #: Retention window for validated journal records; the effective
     #: value is never below four TB intervals so pruning cannot touch
     #: records near a live checkpoint line.
@@ -129,9 +137,10 @@ class System:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(pooling=config.event_pooling)
         self.rng = RngRegistry(config.seed)
-        self.trace = TraceRecorder(enabled=config.trace_enabled)
+        self.trace = TraceRecorder(enabled=config.trace_enabled,
+                                   categories=config.trace_categories)
         self.network = Network(self.sim, config.network, self.rng)
         self.incarnation = IncarnationCounter()
 

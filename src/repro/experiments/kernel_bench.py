@@ -1,0 +1,358 @@
+"""Kernel-throughput measurement core (``repro bench-kernel``).
+
+Every campaign in the reproduction is millions of events through
+:class:`repro.sim.kernel.Simulator`, so kernel throughput multiplies
+everything else — parallel sharding, cheap checkpoints, bigger sweeps.
+This module measures it three ways and packages the result as the
+``BENCH_kernel.json`` perf-trajectory record:
+
+* **churn** — a timer-like microbench: self-rescheduling callbacks with
+  a 30% cancel-and-replace rate, the kernel's steady-state shape under
+  the TB/MDCD protocols;
+* **cancel storm** — schedule a large far-future population, cancel
+  most of it, then drain: the lazy-deletion worst case the heap
+  compaction policy exists for;
+* **campaign** — wall-clock of one Fig. 7 replication (the paper's
+  headline sweep) at the default bench point.
+
+Both microbenches also run against a **pinned legacy kernel** — a
+frozen copy of the seed implementation (frozen-dataclass events with a
+one-element-list cancel flag and tuple-building comparisons; a run loop
+that pops and re-pushes boundary events) — so the speedup claim stays
+measurable against the same baseline forever, not against whatever the
+previous commit happened to be.
+
+Determinism is part of the contract: the record asserts that the Fig. 7
+campaign sample sequence is bit-for-bit identical with tracing on/off,
+event pooling on/off, and serial vs two-worker execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import heapq
+import itertools
+import json
+import random
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..coordination.scheme import Scheme, build_system
+from ..sim.kernel import Simulator
+from .runner import run_campaign
+
+#: Fig. 7 bench point (matches benchmarks/bench_checkpoint_cost.py).
+RATE = 100
+SEED = 2001
+CAMPAIGN_HORIZON = 8_000.0
+
+#: Microbench defaults: enough events for stable timing, small enough
+#: for a CI smoke job.
+CHURN_EVENTS = 150_000
+STORM_EVENTS = 120_000
+
+
+# ----------------------------------------------------------------------
+# the pinned legacy kernel (seed implementation, PR 0-2 era)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _LegacyEvent:
+    """The seed repo's event: frozen dataclass, list-boxed cancel flag,
+    tuple-building ``__lt__``.  Kept verbatim as the bench baseline."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any]
+    args: tuple
+    label: str = ""
+    _cancelled: list = dataclasses.field(
+        default_factory=lambda: [False], compare=False)
+
+    def __lt__(self, other: "_LegacyEvent") -> bool:
+        return (self.time, self.priority, self.seq) < \
+            (other.time, other.priority, other.seq)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled[0]
+
+    def cancel(self) -> None:
+        self._cancelled[0] = True
+
+    def fire(self) -> None:
+        self.callback(*self.args)
+
+
+class _LegacySimulator:
+    """The seed repo's run loop: per-event counter via itertools, lazy
+    deletion with no compaction, O(n) pending_count, and pop-then-push
+    at the ``until`` boundary."""
+
+    def __init__(self) -> None:
+        self._heap: List[_LegacyEvent] = []
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def pending_count(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(self, time: float, callback, args=(), priority=2,
+                    label: str = "") -> _LegacyEvent:
+        event = _LegacyEvent(time=time, priority=priority,
+                             seq=next(self._seq), callback=callback,
+                             args=args, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, callback, args=(), priority=2,
+                       label: str = "") -> _LegacyEvent:
+        return self.schedule_at(self._now + delay, callback, args=args,
+                                priority=priority, label=label)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        executed = 0
+        while self._heap:
+            if self._stopped:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)
+                break
+            self._now = max(self._now, event.time)
+            event.fire()
+            self.events_executed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+
+#: The comparable kernel variants the microbenches run against.
+KERNELS: Dict[str, Callable[[], Any]] = {
+    "legacy": _LegacySimulator,
+    "current": Simulator,
+    "pooled": functools.partial(Simulator, pooling=True),
+}
+
+
+# ----------------------------------------------------------------------
+# microbench workloads (kernel-API-agnostic)
+# ----------------------------------------------------------------------
+def churn_workload(sim, n_events: int, cancel_frac: float = 0.3,
+                   seed: int = 1) -> int:
+    """Self-rescheduling callbacks with cancel-and-replace churn.
+
+    Uses only the ``schedule_after``/``cancel``/``run`` surface both
+    kernels share; the draw sequence depends only on callback order,
+    which both kernels produce identically (asserted by the caller via
+    ``events_executed``).
+    """
+    rng = random.Random(seed)
+    rand = rng.random
+    fired = [0]
+
+    def work(_tag: int) -> None:
+        fired[0] += 1
+        if fired[0] < n_events:
+            event = sim.schedule_after(rand(), work, args=(0,))
+            if rand() < cancel_frac:
+                event.cancel()
+                sim.schedule_after(rand(), work, args=(0,))
+
+    for _ in range(100):
+        sim.schedule_after(rand(), work, args=(0,))
+    sim.run(max_events=n_events)
+    return sim.events_executed
+
+
+def cancel_storm_workload(sim, n_events: int, live_frac: float = 0.1,
+                          seed: int = 2) -> int:
+    """Schedule a big far-future population, cancel 90% of it, drain.
+
+    This is the shape a mass timer re-arm or ``cancel_all`` leaves
+    behind — the case the heap-compaction policy targets: the legacy
+    kernel drags every dead entry through the heap until it surfaces.
+    """
+    rng = random.Random(seed)
+    rand = rng.random
+    handles = [sim.schedule_after(1.0 + rand(), _noop, args=())
+               for _ in range(n_events)]
+    for index, event in enumerate(handles):
+        if rng.random() >= live_frac:
+            event.cancel()
+        elif index % 7 == 0:
+            # Interleave fresh schedules so cancels and pushes mix.
+            sim.schedule_after(2.0 + rand(), _noop, args=())
+    sim.run()
+    return sim.events_executed
+
+
+def _noop() -> None:
+    pass
+
+
+def measure_microbench(workload: Callable[..., int], kernel: str,
+                       n_events: int, repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-``repeats`` events/sec for one workload on one kernel."""
+    factory = KERNELS[kernel]
+    best = None
+    executed = 0
+    for _ in range(repeats):
+        sim = factory()
+        start = time.perf_counter()
+        executed = workload(sim, n_events)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "kernel": kernel,
+        "events_executed": executed,
+        "best_wall_seconds": best,
+        "events_per_sec": executed / best if best else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# campaign wall-clock and determinism
+# ----------------------------------------------------------------------
+def _campaign_cell(trace_enabled: bool, pooling: bool, horizon: float,
+                   seed: int) -> List[float]:
+    """One Fig. 7 replication at the bench point (module-level so
+    ``workers=2`` runs can ship it to worker processes)."""
+    from .figure7 import Figure7Config, _crash_plans, _system_config
+    fig = dataclasses.replace(Figure7Config(), horizon=horizon)
+    config = dataclasses.replace(
+        _system_config(fig, RATE, Scheme.COORDINATED, seed),
+        trace_enabled=trace_enabled, event_pooling=pooling)
+    system = build_system(config)
+    for plan in _crash_plans(fig, seed):
+        system.inject_crash(plan)
+    system.run()
+    assert system.hw_recovery is not None
+    return system.hw_recovery.distances()
+
+
+def campaign_samples(trace_enabled: bool = False, pooling: bool = False,
+                     workers: Optional[int] = None, replications: int = 2,
+                     horizon: float = CAMPAIGN_HORIZON) -> List[float]:
+    """The determinism campaign's full sample sequence."""
+    return run_campaign(
+        "bench.kernel", SEED, replications,
+        functools.partial(_campaign_cell, trace_enabled, pooling, horizon),
+        workers=workers).samples
+
+
+def measure_campaign(horizon: float = CAMPAIGN_HORIZON,
+                     repeats: int = 3) -> Dict[str, Any]:
+    """Best-of wall-clock of one serial Fig. 7 replication."""
+    best = None
+    samples = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        cell = _campaign_cell(False, False, horizon, SEED)
+        elapsed = time.perf_counter() - start
+        samples = len(cell)
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "experiment": "figure7", "rate": RATE, "seed": SEED,
+        "horizon": horizon, "samples": samples,
+        "best_wall_seconds": best,
+    }
+
+
+def check_determinism(horizon: float = CAMPAIGN_HORIZON,
+                      replications: int = 2) -> Dict[str, bool]:
+    """Bit-for-bit sample equality across the representation knobs."""
+    reference = campaign_samples(horizon=horizon, replications=replications)
+    same = {
+        "tracing": campaign_samples(trace_enabled=True, horizon=horizon,
+                                    replications=replications) == reference,
+        "pooling": campaign_samples(pooling=True, horizon=horizon,
+                                    replications=replications) == reference,
+        "workers": campaign_samples(workers=2, horizon=horizon,
+                                    replications=replications) == reference,
+    }
+    same["all"] = all(same.values()) and bool(reference)
+    return same
+
+
+# ----------------------------------------------------------------------
+# the BENCH_kernel.json record
+# ----------------------------------------------------------------------
+def bench_record(churn_events: int = CHURN_EVENTS,
+                 storm_events: int = STORM_EVENTS,
+                 campaign_horizon: float = CAMPAIGN_HORIZON,
+                 repeats: int = 3) -> Dict[str, Any]:
+    """Run everything and assemble the perf-trajectory record."""
+    micro: Dict[str, Dict[str, Any]] = {}
+    for name, workload, n_events in (
+            ("churn", churn_workload, churn_events),
+            ("cancel_storm", cancel_storm_workload, storm_events)):
+        rows = {kernel: measure_microbench(workload, kernel, n_events,
+                                           repeats=repeats)
+                for kernel in KERNELS}
+        executed = {row["events_executed"] for row in rows.values()}
+        micro[name] = {
+            "events": n_events,
+            "kernels": rows,
+            # Same callback sequence on every kernel, or the comparison
+            # (and the determinism story) is void.
+            "identical_execution": len(executed) == 1,
+            "speedup_current_vs_legacy":
+                rows["current"]["events_per_sec"]
+                / max(rows["legacy"]["events_per_sec"], 1e-9),
+            "speedup_pooled_vs_legacy":
+                rows["pooled"]["events_per_sec"]
+                / max(rows["legacy"]["events_per_sec"], 1e-9),
+        }
+    return {
+        "bench": "kernel",
+        "python": sys.version.split()[0],
+        "microbench": micro,
+        "campaign": measure_campaign(campaign_horizon, repeats=repeats),
+        "determinism": check_determinism(campaign_horizon),
+    }
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """Human-oriented summary lines for the CLI."""
+    lines = []
+    for name, bench in record["microbench"].items():
+        rows = bench["kernels"]
+        lines.append(
+            f"{name:>13}: legacy {rows['legacy']['events_per_sec']:>10,.0f} ev/s"
+            f"  current {rows['current']['events_per_sec']:>10,.0f} ev/s"
+            f"  pooled {rows['pooled']['events_per_sec']:>10,.0f} ev/s"
+            f"  ({bench['speedup_current_vs_legacy']:.2f}x / "
+            f"{bench['speedup_pooled_vs_legacy']:.2f}x)")
+    campaign = record["campaign"]
+    lines.append(f"     campaign: fig7 rate={campaign['rate']} horizon="
+                 f"{campaign['horizon']:.0f}s -> "
+                 f"{campaign['best_wall_seconds']:.3f}s wall "
+                 f"({campaign['samples']} samples)")
+    det = record["determinism"]
+    lines.append("  determinism: " + "  ".join(
+        f"{key}={'ok' if value else 'FAIL'}"
+        for key, value in det.items() if key != "all"))
+    return "\n".join(lines)
+
+
+def write_record(record: Dict[str, Any], path: str) -> None:
+    """Write the record as pretty JSON (the CI artifact / committed
+    ``BENCH_kernel.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -98,7 +98,10 @@ def measure_scheme(config: OverheadConfig, scheme: Scheme) -> OverheadObservatio
                                  step_rate=0.02, horizon=horizon),
         workload2=WorkloadConfig(internal_rate=config.internal_rate / 2.0,
                                  external_rate=config.external_rate,
-                                 step_rate=0.02, horizon=horizon)))
+                                 step_rate=0.02, horizon=horizon),
+        # The cost profile reads blocking.start records (and counters);
+        # everything else in the trace would be dead weight.
+        trace_categories=("blocking.start",)))
     system.run()
 
     blocked_time = sum(rec.data["length"]

@@ -115,8 +115,9 @@ def run_campaign(label: str, master_seed: int, replications: int,
             if cache is not None:
                 cache.put(CacheKey(label, master_seed, rep_index,
                                    fingerprint), cell)
+        add = stat.add
         for value in cell:
-            stat.add(value)
-            samples.append(value)
+            add(value)
+        samples.extend(cell)
     return CampaignResult(label=label, stat=stat, samples=samples,
                           replications=replications)

@@ -58,6 +58,10 @@ class GeneralSystemConfig:
     workload_peer: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
     at: AcceptanceTestConfig = dataclasses.field(default_factory=AcceptanceTestConfig)
     trace_enabled: bool = True
+    #: Category-prefix allowlist for the trace (``None`` = everything).
+    trace_categories: Optional[tuple] = None
+    #: Recycle fired kernel events through a free-list.
+    event_pooling: bool = False
     stable_history: int = 2
     #: Snapshot pipeline knobs (same semantics as
     #: :class:`~repro.coordination.scheme.SystemConfig`).
@@ -76,9 +80,10 @@ class GeneralSystem:
 
     def __init__(self, config: GeneralSystemConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(pooling=config.event_pooling)
         self.rng = RngRegistry(config.seed)
-        self.trace = TraceRecorder(enabled=config.trace_enabled)
+        self.trace = TraceRecorder(enabled=config.trace_enabled,
+                                   categories=config.trace_categories)
         self.network = Network(self.sim, config.network, self.rng)
         self.incarnation = IncarnationCounter()
         self.nodes: Dict[str, Node] = {}

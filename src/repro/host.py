@@ -340,8 +340,9 @@ class FtProcess(SimProcess):
         if self.hardware is not None and self.hardware.should_buffer(message):
             self._buffer.append(message)
             self.counters.bump(f"blocked.buffered.{message.kind.value}")
-            self.trace.record(self.sim.now, "blocking.buffered", self.process_id,
-                              desc=message.describe())
+            if self.trace.wants("blocking.buffered"):
+                self.trace.record(self.sim.now, "blocking.buffered",
+                                  self.process_id, desc=message.describe())
             return False
         self.dispatch(message)
         return False
@@ -536,9 +537,10 @@ class FtProcess(SimProcess):
         checkpoint = self.capture_checkpoint(kind, meta=meta)
         self.node.volatile.save(checkpoint)
         self.counters.bump(f"checkpoint.{kind.value}")
-        self.trace.record(self.sim.now, f"checkpoint.volatile.{kind.value}",
-                          self.process_id, work=checkpoint.work_done,
-                          **(meta or {}))
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, f"checkpoint.volatile.{kind.value}",
+                              self.process_id, work=checkpoint.work_done,
+                              **(meta or {}))
         return checkpoint
 
     def compact_journals(self) -> int:

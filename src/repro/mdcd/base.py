@@ -57,7 +57,9 @@ class MdcdEngineBase:
 
     def trace(self, category: str, **data) -> None:
         """Record a trace entry attributed to this engine's process."""
-        self.process.trace.record(self.now, category, self.process.process_id, **data)
+        recorder = self.process.trace
+        if recorder.enabled:
+            recorder.record(self.now, category, self.process.process_id, **data)
 
     def set_dirty(self, value: int, reason: str = "") -> None:
         """Set the dirty bit, tracing the transition (the timeline

@@ -58,11 +58,12 @@ def _run_shard(payload: Tuple[Callable[[int], Iterable[float]], Shard]
     task, shard = payload
     cells: List[Tuple[int, List[float]]] = []
     stat = RunningStat()
+    add = stat.add
     started = time.monotonic()
     for rep_index, seed in shard:
         samples = [float(v) for v in task(seed)]
         for value in samples:
-            stat.add(value)
+            add(value)
         cells.append((rep_index, samples))
     return {
         "cells": cells,

@@ -4,16 +4,19 @@ An :class:`Event` is a callback scheduled at a point in simulated *true*
 time.  Events are totally ordered by ``(time, priority, seq)`` so that
 simulations are deterministic: ties in time are broken first by an
 explicit priority and then by insertion order.
+
+This module is the innermost hot path of every experiment campaign —
+millions of events are created, compared, and fired per run — so
+:class:`Event` is a ``__slots__`` class with a plain mutable
+``cancelled`` flag and a comparison that touches fields directly
+instead of building tuples.  An optional :class:`EventPool` lets the
+kernel recycle fired event objects instead of allocating fresh ones.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import enum
-import itertools
-from typing import Any, Callable, Optional
-
-_seq_counter = itertools.count()
+from typing import Any, Callable, List, Optional
 
 
 class EventPriority(enum.IntEnum):
@@ -37,38 +40,96 @@ class EventPriority(enum.IntEnum):
     CONTROL = 3
 
 
-@dataclasses.dataclass(frozen=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)``.  The ``cancelled`` flag
-    lives in a one-element list so a frozen dataclass can still be
-    lazily cancelled without removing it from the heap.
+    Events compare by ``(time, priority, seq)``; ``cancelled`` is a
+    plain mutable flag the kernel checks when the event reaches the
+    head of the heap.  ``sim`` back-references the owning
+    :class:`~repro.sim.kernel.Simulator` (``None`` for free-standing
+    events) so :meth:`cancel` can keep the kernel's live-event
+    accounting exact; ``in_heap`` tracks whether the event currently
+    sits in that simulator's queue.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., Any]
-    args: tuple
-    label: str = ""
-    _cancelled: list = dataclasses.field(default_factory=lambda: [False], compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "label",
+                 "cancelled", "sim", "in_heap")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., Any], args: tuple = (),
+                 label: str = "") -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self.sim = None
+        self.in_heap = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+        # Field-direct comparison: no tuple construction on the heap's
+        # hottest operation.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
-    @property
-    def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called on this event."""
-        return self._cancelled[0]
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, label={self.label!r}{state})")
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self._cancelled[0] = True
+        if self.cancelled:
+            return
+        self.cancelled = True
+        sim = self.sim
+        if sim is not None and self.in_heap:
+            sim._note_cancel()
 
     def fire(self) -> None:
         """Invoke the callback (the kernel calls this; tests may too)."""
         self.callback(*self.args)
+
+
+class EventSequencer:
+    """A monotonic source of event sequence numbers.
+
+    Each :class:`~repro.sim.kernel.Simulator` owns one, so tie-break
+    order never leaks between simulator instances in the same Python
+    process.  Code that builds events without a simulator (tests,
+    tooling) can construct its own sequencer for the same isolation.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def reset(self, start: int = 0) -> None:
+        """Rewind the sequence (fresh-run determinism for tooling)."""
+        self._next = start
+
+
+#: Fallback sequencer for :func:`make_event` calls that supply neither
+#: ``seq`` nor ``sequencer``.  Simulators never draw from it (each owns
+#: an :class:`EventSequencer`), so it only orders free-standing events;
+#: :func:`reset_event_sequence` rewinds it between independent runs.
+_fallback_sequencer = EventSequencer()
+
+
+def reset_event_sequence(start: int = 0) -> None:
+    """Reset the module fallback sequence used by :func:`make_event`."""
+    _fallback_sequencer.reset(start)
 
 
 def make_event(
@@ -78,12 +139,79 @@ def make_event(
     priority: int = EventPriority.ACTION,
     label: str = "",
     seq: Optional[int] = None,
+    sequencer: Optional[EventSequencer] = None,
 ) -> Event:
-    """Construct an :class:`Event` with a fresh global sequence number.
+    """Construct a free-standing :class:`Event`.
 
     ``seq`` may be pinned explicitly by tests that need to control
-    tie-break order.
+    tie-break order; ``sequencer`` scopes automatic numbering to the
+    caller (a fresh :class:`EventSequencer` per logical run).  With
+    neither, a module-level fallback sequencer is used — reset it with
+    :func:`reset_event_sequence` when cross-run isolation matters.
     """
     if seq is None:
-        seq = next(_seq_counter)
-    return Event(time=time, priority=priority, seq=seq, callback=callback, args=args, label=label)
+        seq = (sequencer if sequencer is not None else _fallback_sequencer)()
+    return Event(time, int(priority), seq, callback, args, label)
+
+
+class EventPool:
+    """A free-list of fired :class:`Event` objects.
+
+    The kernel releases events here after they fire (or after a
+    cancelled event is popped) and reacquires them for new schedules,
+    skipping object allocation on the hot path.  Released events drop
+    their callback/args references immediately so the pool never keeps
+    closures or messages alive.
+
+    Pooling changes object identity across schedules, so it is opt-in
+    (``Simulator(pooling=True)``): a caller holding a *dead* handle —
+    the event fired, or was cancelled and has since left the heap —
+    must not call :meth:`Event.cancel` on it (the object may already
+    describe a different scheduled event).  All in-tree callers null or
+    guard their handles (e.g. ``Alarm.cancel`` checks both its ``fired``
+    and ``cancelled`` flags); the kernel bench asserts campaign samples
+    are bit-for-bit identical pooling on/off.
+    """
+
+    __slots__ = ("_free", "max_size", "reused", "released")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        self._free: List[Event] = []
+        self.max_size = max_size
+        #: Diagnostics: how many acquisitions were served from the pool.
+        self.reused = 0
+        #: Diagnostics: how many events were returned to the pool.
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, time: float, priority: int, seq: int,
+                callback: Callable[..., Any], args: tuple,
+                label: str) -> Event:
+        """A ready-to-push event: recycled if available, else fresh."""
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.label = label
+            event.cancelled = False
+            self.reused += 1
+            return event
+        return Event(time, priority, seq, callback, args, label)
+
+    def release(self, event: Event) -> None:
+        """Return a dead (fired or cancelled-and-popped) event."""
+        free = self._free
+        if len(free) >= self.max_size:
+            return
+        event.callback = None
+        event.args = ()
+        event.label = ""
+        event.sim = None
+        self.released += 1
+        free.append(event)

@@ -8,20 +8,41 @@ injection — is expressed as events scheduled on one simulator instance.
 The kernel is intentionally small and synchronous: callbacks run to
 completion in timestamp order, and the only sources of nondeterminism
 are the seeded RNG streams in :mod:`repro.sim.rng`.
+
+It is also the hot path under every experiment campaign, so the run
+loop is written for throughput: heap operations and counters live in
+locals, ``run(until=...)`` peeks at the heap head instead of popping
+and re-pushing boundary-straddling events, a live-event counter makes
+:meth:`pending_count` O(1), and cancelled events are compacted out of
+the heap once they outnumber half of it (lazy deletion otherwise keeps
+dead entries churning through every sift).  Event-object allocation can
+be amortized with an opt-in :class:`~repro.sim.events.EventPool`.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from ..errors import SchedulingError
-from .events import Event, EventPriority, make_event
+from .events import Event, EventPool, EventPriority
+
+#: One :meth:`Simulator.schedule_many` entry:
+#: ``(time, callback, args, priority, label)``.
+EventSpec = Tuple[float, Callable[..., Any], tuple, int, str]
 
 
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    pooling:
+        Recycle fired event objects through an
+        :class:`~repro.sim.events.EventPool` instead of allocating a
+        fresh :class:`~repro.sim.events.Event` per schedule.  Off by
+        default; see the pool's docstring for the handle-holding
+        caveat.
 
     Example
     -------
@@ -34,14 +55,25 @@ class Simulator:
     [0.5, 1.5]
     """
 
-    def __init__(self) -> None:
+    #: Compaction policy: rebuild the heap once cancelled entries are at
+    #: least ``_COMPACT_MIN`` *and* at least half the heap.  The rebuild
+    #: is O(n); amortized over the >= n/2 cancels that triggered it the
+    #: cost per cancel is O(1), and it keeps sift depth bounded by the
+    #: live-event population.
+    _COMPACT_MIN = 64
+
+    def __init__(self, pooling: bool = False) -> None:
         self._heap: List[Event] = []
         self._now: float = 0.0
-        self._seq = itertools.count()
+        self._next_seq = 0
+        self._cancelled_in_heap = 0
         self._running = False
         self._stopped = False
+        self._pool: Optional[EventPool] = EventPool() if pooling else None
         #: Number of events executed so far (cancelled events excluded).
         self.events_executed: int = 0
+        #: Diagnostics: how many heap compactions have run.
+        self.compactions: int = 0
 
     # ------------------------------------------------------------------
     # time & introspection
@@ -51,9 +83,15 @@ class Simulator:
         """The current simulated true time, in seconds."""
         return self._now
 
+    @property
+    def pool(self) -> Optional[EventPool]:
+        """The event free-list, when pooling is enabled."""
+        return self._pool
+
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1): the
+        kernel maintains a cancelled-in-heap counter)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if drained."""
@@ -81,8 +119,15 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule event {label!r} at t={time} (now={self._now})"
             )
-        event = make_event(time, callback, args=args, priority=priority,
-                           label=label, seq=next(self._seq))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        pool = self._pool
+        if pool is not None:
+            event = pool.acquire(time, int(priority), seq, callback, args, label)
+        else:
+            event = Event(time, int(priority), seq, callback, args, label)
+        event.sim = self
+        event.in_heap = True
         heapq.heappush(self._heap, event)
         return event
 
@@ -100,6 +145,41 @@ class Simulator:
         return self.schedule_at(self._now + delay, callback, args=args,
                                 priority=priority, label=label)
 
+    def schedule_many(self, specs: Iterable[EventSpec]) -> List[Event]:
+        """Schedule a batch of events in one call.
+
+        ``specs`` entries are ``(time, callback, args, priority, label)``
+        tuples; sequence numbers are assigned in iteration order, so the
+        batch ties exactly as the equivalent :meth:`schedule_at` loop
+        would.  Large batches (at least a quarter of the heap) are
+        appended and re-heapified in one O(n) pass instead of paying a
+        sift per event — this is the bulk path
+        :class:`~repro.sim.timers.TimerService` uses to re-anchor every
+        pending alarm after a clock resynchronization.
+        """
+        now = self._now
+        seq = self._next_seq
+        events: List[Event] = []
+        for time, callback, args, priority, label in specs:
+            if time < now:
+                raise SchedulingError(
+                    f"cannot schedule event {label!r} at t={time} (now={now})")
+            event = Event(time, int(priority), seq, callback, args, label)
+            event.sim = self
+            event.in_heap = True
+            seq += 1
+            events.append(event)
+        self._next_seq = seq
+        heap = self._heap
+        if len(events) * 4 >= len(heap):
+            heap.extend(events)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for event in events:
+                push(heap, event)
+        return events
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -110,7 +190,9 @@ class Simulator:
         ----------
         until:
             If given, stop once the next event's timestamp exceeds
-            ``until`` and advance ``now`` to exactly ``until``.
+            ``until`` and advance ``now`` to exactly ``until``.  The
+            too-late head event is *peeked*, never popped, so a
+            boundary-straddling run leaves the heap untouched.
         max_events:
             Safety valve for tests: stop after this many events.
         """
@@ -119,20 +201,32 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
+                head = heap[0]
+                if head.cancelled:
+                    pop(heap)
+                    head.in_heap = False
+                    self._cancelled_in_heap -= 1
+                    if pool is not None:
+                        pool.release(head)
                     continue
-                if until is not None and event.time > until:
-                    heapq.heappush(self._heap, event)
+                if until is not None and head.time > until:
                     break
-                self._now = max(self._now, event.time)
-                event.fire()
+                pop(heap)
+                head.in_heap = False
+                if head.time > self._now:
+                    self._now = head.time
+                head.callback(*head.args)
                 self.events_executed += 1
                 executed += 1
+                if pool is not None:
+                    pool.release(head)
                 if max_events is not None and executed >= max_events:
                     break
             if until is not None and self._now < until and not self._stopped:
@@ -141,12 +235,18 @@ class Simulator:
             self._running = False
 
     def step(self) -> Optional[Event]:
-        """Execute exactly one live event and return it (``None`` if drained)."""
+        """Execute exactly one live event and return it (``None`` if drained).
+
+        Stepped events are never recycled through the pool — the caller
+        receives the handle.
+        """
         self._drop_cancelled_head()
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
-        self._now = max(self._now, event.time)
+        event.in_heap = False
+        if event.time > self._now:
+            self._now = event.time
         event.fire()
         self.events_executed += 1
         return event
@@ -157,6 +257,40 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for an event still in the heap."""
+        count = self._cancelled_in_heap + 1
+        self._cancelled_in_heap = count
+        if count >= self._COMPACT_MIN and count * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically remove cancelled events and re-heapify (in place,
+        so aliases of the heap list held by a running loop stay valid)."""
+        heap = self._heap
+        pool = self._pool
+        if pool is not None:
+            for event in heap:
+                if event.cancelled:
+                    event.in_heap = False
+                    pool.release(event)
+        else:
+            for event in heap:
+                if event.cancelled:
+                    event.in_heap = False
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        pool = self._pool
+        while heap and heap[0].cancelled:
+            event = heapq.heappop(heap)
+            event.in_heap = False
+            self._cancelled_in_heap -= 1
+            if pool is not None:
+                pool.release(event)

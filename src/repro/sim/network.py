@@ -23,7 +23,7 @@ from ..messages.message import DEVICE, Message
 from ..types import MessageKind, ProcessId
 from .events import EventPriority
 from .kernel import Simulator
-from .rng import RngRegistry
+from .rng import BatchedUniform, RngRegistry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,7 +85,12 @@ class Network:
                  rng_registry: RngRegistry) -> None:
         self._sim = sim
         self.config = config
-        self._rng = rng_registry.stream("network")
+        # One delay draw per message plus one per acknowledgement makes
+        # this the hottest RNG consumer; the batched helper prefetches
+        # blocks from the dedicated stream without changing the drawn
+        # value sequence (see BatchedUniform).
+        self._delay = BatchedUniform(rng_registry.stream("network"),
+                                     config.t_min, config.t_max)
         self._endpoints: Dict[ProcessId, Endpoint] = {}
         self._transmissions: List[Transmission] = []
         self._last_arrival: Dict[tuple, float] = {}
@@ -158,10 +163,7 @@ class Network:
 
     # ------------------------------------------------------------------
     def _draw_delay(self) -> float:
-        cfg = self.config
-        if cfg.t_max == cfg.t_min:
-            return cfg.t_min
-        return self._rng.uniform(cfg.t_min, cfg.t_max)
+        return self._delay.next()
 
     def _deliver(self, tx: Transmission) -> None:
         message = tx.message

@@ -57,8 +57,10 @@ class SimProcess:
         if self.node.crashed:
             raise NodeCrashedError(
                 f"{self.process_id} cannot send while {self.node.node_id} is down")
-        self.trace.record(self.sim.now, "message.send", self.process_id,
-                          desc=message.describe(), msg_id=message.msg_id)
+        trace = self.trace
+        if trace.enabled and trace.wants("message.send"):
+            trace.record(self.sim.now, "message.send", self.process_id,
+                         desc=message.describe(), msg_id=message.msg_id)
         return self.network.send(message)
 
     # ------------------------------------------------------------------
@@ -86,8 +88,10 @@ class SimProcess:
     def _deliver(self, message: Message) -> Optional[bool]:
         if self.node.crashed:
             return False
-        self.trace.record(self.sim.now, "message.deliver", self.process_id,
-                          desc=message.describe(), msg_id=message.msg_id)
+        trace = self.trace
+        if trace.enabled and trace.wants("message.deliver"):
+            trace.record(self.sim.now, "message.deliver", self.process_id,
+                         desc=message.describe(), msg_id=message.msg_id)
         return self.handle_message(message)
 
     def _ack(self, msg_id: int) -> None:

@@ -32,9 +32,15 @@ class Alarm:
     event: Optional[Event] = None
     fired: bool = False
     cancelled: bool = False
+    #: The simulator-event label, built once at arm time (resyncs reuse
+    #: it instead of re-formatting per reschedule).
+    event_label: str = ""
 
     def cancel(self) -> None:
-        """Cancel the alarm; a no-op if it already fired."""
+        """Cancel the alarm; a no-op if it already fired or was
+        cancelled (the event handle may since have been recycled)."""
+        if self.fired or self.cancelled:
+            return
         self.cancelled = True
         if self.event is not None:
             self.event.cancel()
@@ -45,9 +51,10 @@ class TimerService:
 
     One service per process/node.  Alarms survive clock
     resynchronizations: when the underlying clock is re-anchored, every
-    pending alarm's true-time event is cancelled and rescheduled from
-    the new mapping.  A deadline that is already in the (local) past
-    after a resync fires immediately.
+    pending alarm's true-time event is cancelled and the whole set is
+    rescheduled in one bulk kernel call from the new mapping.  A
+    deadline that is already in the (local) past after a resync fires
+    immediately.
     """
 
     def __init__(self, sim: Simulator, clock: DriftingClock) -> None:
@@ -70,7 +77,8 @@ class TimerService:
         protocol re-arms its periodic timer with absolute local
         deadlines that may have just been overrun)."""
         alarm = Alarm(alarm_id=next(self._ids), local_deadline=local_deadline,
-                      callback=callback, args=args, label=label)
+                      callback=callback, args=args, label=label,
+                      event_label=f"alarm:{label}")
         self._alarms[alarm.alarm_id] = alarm
         self._arm(alarm)
         return alarm
@@ -99,7 +107,7 @@ class TimerService:
         true_deadline = max(true_deadline, self._sim.now)
         alarm.event = self._sim.schedule_at(
             true_deadline, self._fire, args=(alarm,),
-            priority=EventPriority.TIMER, label=f"alarm:{alarm.label}")
+            priority=EventPriority.TIMER, label=alarm.event_label)
 
     def _fire(self, alarm: Alarm) -> None:
         if alarm.cancelled or alarm.fired:
@@ -109,9 +117,27 @@ class TimerService:
         alarm.callback(*alarm.args)
 
     def _handle_resync(self, _clock: DriftingClock) -> None:
-        for alarm in list(self._alarms.values()):
-            if alarm.fired or alarm.cancelled:
-                continue
+        # Re-anchor every pending alarm in one bulk kernel call: cancel
+        # the stale events, then hand the kernel the full batch of
+        # re-converted deadlines (sequence numbers are assigned in the
+        # same alarm order a per-alarm loop would produce, so tie-break
+        # determinism is unchanged).
+        pending = [alarm for alarm in self._alarms.values()
+                   if not alarm.fired and not alarm.cancelled]
+        if not pending:
+            return
+        true_time_of = self._clock.true_time_of
+        fire = self._fire
+        timer_priority = EventPriority.TIMER
+        now = self._sim.now
+        specs = []
+        for alarm in pending:
             if alarm.event is not None:
                 alarm.event.cancel()
-            self._arm(alarm)
+            deadline = true_time_of(alarm.local_deadline)
+            if deadline < now:
+                deadline = now
+            specs.append((deadline, fire, (alarm,), timer_priority,
+                          alarm.event_label))
+        for alarm, event in zip(pending, self._sim.schedule_many(specs)):
+            alarm.event = event

@@ -41,16 +41,39 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Append-only trace sink with simple query helpers."""
+    """Append-only trace sink with simple query helpers.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``categories`` restricts recording to categories matching any of
+    the given prefixes — campaign runners that only assert over a
+    narrow slice of the trace (say ``blocking.``) use it to skip the
+    per-record allocation everywhere else.  Hot call sites should guard
+    with :attr:`enabled` (or :meth:`wants` when their category may be
+    filtered) before building keyword arguments, so a disabled recorder
+    costs one attribute read and nothing else.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 categories: Optional[Iterable[str]] = None) -> None:
         self.enabled = enabled
+        self._prefixes: Optional[tuple] = (tuple(categories)
+                                           if categories is not None else None)
         self._records: List[TraceRecord] = []
+
+    def wants(self, category: str) -> bool:
+        """Whether a record in ``category`` would actually be kept —
+        the cheap pre-flight hot paths use to skip argument building."""
+        if not self.enabled:
+            return False
+        prefixes = self._prefixes
+        return prefixes is None or category.startswith(prefixes)
 
     def record(self, time: float, category: str,
                process: Optional[ProcessId] = None, **data: Any) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled or filtered out)."""
         if not self.enabled:
+            return
+        prefixes = self._prefixes
+        if prefixes is not None and not category.startswith(prefixes):
             return
         self._records.append(TraceRecord(time=time, category=category,
                                          process=process, data=data))

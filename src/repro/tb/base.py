@@ -94,8 +94,10 @@ class TbEngineBase:
 
     def trace(self, category: str, **data) -> None:
         """Record a trace entry attributed to this engine's process."""
-        self.process.trace.record(self.sim.now, category,
-                                  self.process.process_id, **data)
+        recorder = self.process.trace
+        if recorder.enabled:
+            recorder.record(self.sim.now, category,
+                            self.process.process_id, **data)
 
     # ------------------------------------------------------------------
     # lifecycle

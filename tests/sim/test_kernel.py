@@ -141,3 +141,156 @@ class TestStepAndPeek:
         sim.schedule_at(2.0, lambda: None)
         event.cancel()
         assert sim.pending_count() == 1
+
+
+class TestRunUntilBoundary:
+    def test_until_peeks_instead_of_popping(self, sim):
+        # A boundary-straddling run must leave the heap untouched — the
+        # head is peeked, never popped and re-pushed.
+        event = sim.schedule_at(5.0, lambda: None)
+        before = list(sim._heap)
+        sim.run(until=2.0)
+        assert sim._heap == before
+        assert sim._heap[0] is event
+        assert event.in_heap
+
+    def test_chunked_until_runs_preserve_tie_order(self, sim):
+        # Same-time same-priority events straddling several until
+        # boundaries fire in insertion order, exactly as one run() would.
+        order = []
+        for k in range(6):
+            sim.schedule_at(10.0, order.append, args=(k,))
+        for until in (2.0, 4.0, 6.0, 8.0):
+            sim.run(until=until)
+        assert order == []
+        sim.run()
+        assert order == list(range(6))
+
+
+class TestPendingCountAccounting:
+    def test_double_cancel_counts_once(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_count() == 1
+
+    def test_cancel_after_step_does_not_corrupt_count(self, sim):
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        stepped = sim.step()
+        # The event already left the heap; a late cancel of the handle
+        # must not decrement the live counter.
+        stepped.cancel()
+        assert sim.pending_count() == 1
+
+    def test_count_tracks_mixed_operations(self, sim):
+        events = [sim.schedule_at(float(k + 1), lambda: None)
+                  for k in range(6)]
+        events[1].cancel()
+        events[4].cancel()
+        sim.step()
+        assert sim.pending_count() == 3
+
+
+class TestCompaction:
+    def test_compaction_shrinks_heap_and_keeps_live_events(self, sim):
+        fired = []
+        for k in range(100):
+            sim.schedule_at(float(k + 1), fired.append, args=(k,))
+        doomed = [sim.schedule_at(1000.0 + k, lambda: None)
+                  for k in range(200)]
+        for event in doomed:
+            event.cancel()
+        # The cancelled majority was physically removed...
+        assert sim.compactions >= 1
+        assert len(sim._heap) < 300
+        assert sim.pending_count() == 100
+        # ...and no live event was dropped.
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_few_cancels_stay_lazy(self, sim):
+        events = [sim.schedule_at(float(k + 1), lambda: None)
+                  for k in range(100)]
+        for event in events[:30]:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending_count() == 70
+
+
+class TestScheduleMany:
+    def _fire_order(self, bulk):
+        sim = Simulator()
+        order = []
+        emit = order.append
+        sim.schedule_at(1.0, emit, args=("pre",))
+        specs = [(2.0, emit, (k,), EventPriority.TIMER, "") for k in range(8)]
+        if bulk:
+            sim.schedule_many(specs)
+        else:
+            for time, callback, args, priority, label in specs:
+                sim.schedule_at(time, callback, args=args,
+                                priority=priority, label=label)
+        sim.schedule_at(2.0, emit, args=("post",))
+        sim.run()
+        return order
+
+    def test_bulk_and_loop_orders_agree(self):
+        assert self._fire_order(bulk=True) == self._fire_order(bulk=False)
+
+    def test_returns_events_in_spec_order(self, sim):
+        events = sim.schedule_many(
+            [(3.0, lambda: None, (), EventPriority.ACTION, "a"),
+             (1.0, lambda: None, (), EventPriority.ACTION, "b")])
+        assert [e.label for e in events] == ["a", "b"]
+        assert events[0].seq < events[1].seq
+
+    def test_rejects_past_times(self, sim):
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_many(
+                [(1.0, lambda: None, (), EventPriority.ACTION, "late")])
+
+
+class TestPooling:
+    def test_fired_events_are_recycled(self):
+        sim = Simulator(pooling=True)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule_after(1.0, tick)
+        sim.run()
+        assert count[0] == 50
+        assert sim.pool.reused > 0
+        assert len(sim.pool) >= 1
+
+    def test_pooling_preserves_execution_order(self):
+        def run_workload(sim):
+            order = []
+
+            def emit(tag):
+                order.append((sim.now, tag))
+
+            events = [sim.schedule_at(float(k % 7) + 1.0, emit, args=(k,))
+                      for k in range(60)]
+            for event in events[::3]:
+                event.cancel()
+            sim.run()
+            return order
+
+        assert run_workload(Simulator(pooling=True)) == \
+            run_workload(Simulator())
+
+    def test_stepped_events_are_not_recycled(self):
+        sim = Simulator(pooling=True)
+        sim.schedule_at(1.0, lambda: None)
+        stepped = sim.step()
+        # The caller holds the handle; it must not be in the free list.
+        assert stepped is not None
+        assert len(sim.pool) == 0

@@ -1,6 +1,10 @@
 """Unit tests for the seeded RNG registry."""
 
-from repro.sim.rng import RngRegistry, derive_seed
+import random
+
+import pytest
+
+from repro.sim.rng import BatchedUniform, RngRegistry, derive_seed
 
 
 class TestDeriveSeed:
@@ -52,3 +56,31 @@ class TestRegistry:
         a = RngRegistry(7).fork("rep1").stream("x").random()
         b = RngRegistry(7).fork("rep1").stream("x").random()
         assert a == b
+
+
+class TestBatchedUniform:
+    def test_bit_for_bit_matches_sequential_uniform(self):
+        # The campaign-determinism contract: prefetched blocks produce
+        # exactly the values the equivalent uniform() calls would.
+        batched_rng = random.Random(99)
+        plain_rng = random.Random(99)
+        batched = BatchedUniform(batched_rng, 0.004, 0.04, block=7)
+        assert [batched.next() for _ in range(100)] == \
+            [plain_rng.uniform(0.004, 0.04) for _ in range(100)]
+
+    def test_block_boundary_is_invisible(self):
+        values = {}
+        for block in (1, 3, 256):
+            batched = BatchedUniform(random.Random(5), -1.0, 2.0, block=block)
+            values[block] = [batched.next() for _ in range(10)]
+        assert values[1] == values[3] == values[256]
+
+    def test_degenerate_range_consumes_nothing(self):
+        rng = random.Random(5)
+        batched = BatchedUniform(rng, 0.25, 0.25)
+        assert batched.next() == 0.25
+        assert rng.random() == random.Random(5).random()
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            BatchedUniform(random.Random(1), 1.0, 0.5)

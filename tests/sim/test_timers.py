@@ -106,3 +106,49 @@ class TestResyncInteraction:
         sim.schedule_at(20.0, clock.resync)
         sim.run()
         assert len(fired) == 1
+
+
+class TestBulkResync:
+    def test_resync_rearms_every_pending_alarm(self):
+        sim, clock, timers = make_service(delta=0.5, rho=0.0, seed=3)
+        fired = []
+        for k in range(5):
+            timers.set_alarm(100.0 + 10.0 * k,
+                             lambda k=k: fired.append((k, clock.now())))
+        sim.schedule_at(10.0, clock.resync)
+        sim.run()
+        assert [k for k, _ in fired] == [0, 1, 2, 3, 4]
+        for k, local in fired:
+            assert local == pytest.approx(100.0 + 10.0 * k, abs=1e-6)
+
+    def test_resync_tie_order_matches_alarm_order(self):
+        # Alarms sharing one deadline keep their set order through the
+        # bulk reschedule (sequence numbers assigned in alarm order).
+        sim, clock, timers = make_service(delta=0.3)
+        fired = []
+        for k in range(4):
+            timers.set_alarm(50.0, lambda k=k: fired.append(k))
+        sim.schedule_at(5.0, clock.resync)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_cancelled_alarm_not_rearmed_by_resync(self):
+        sim, clock, timers = make_service(delta=0.2)
+        fired = []
+        timers.set_alarm(40.0, lambda: fired.append("keep"))
+        dropped = timers.set_alarm(40.0, lambda: fired.append("drop"))
+        dropped.cancel()
+        sim.schedule_at(5.0, clock.resync)
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_repeated_resyncs_fire_each_alarm_once(self):
+        sim, clock, timers = make_service(delta=0.4, seed=9)
+        fired = []
+        for k in range(3):
+            timers.set_alarm(100.0 + k, lambda k=k: fired.append(k))
+        for t in (10.0, 20.0, 30.0):
+            sim.schedule_at(t, clock.resync)
+        sim.run()
+        assert sorted(fired) == [0, 1, 2]
+        assert len(fired) == 3

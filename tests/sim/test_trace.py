@@ -71,3 +71,32 @@ class TestQueries:
         trace = loaded_recorder()
         rec = trace.records("checkpoint.stable")[0]
         assert rec.data == {"epoch": 1}
+
+
+class TestCategoryFilter:
+    def test_keeps_only_matching_prefixes(self):
+        trace = TraceRecorder(categories=("checkpoint.volatile", "at."))
+        trace.record(1.0, "checkpoint.volatile.type-1", None)
+        trace.record(2.0, "checkpoint.stable", None)
+        trace.record(3.0, "at.pass", None)
+        trace.record(4.0, "blocking.start", None)
+        assert [rec.category for rec in trace] == \
+            ["checkpoint.volatile.type-1", "at.pass"]
+
+    def test_wants_reflects_filter(self):
+        trace = TraceRecorder(categories=("blocking.",))
+        assert trace.wants("blocking.start")
+        assert not trace.wants("checkpoint.stable")
+
+    def test_wants_without_filter_accepts_everything(self):
+        assert TraceRecorder().wants("anything.at.all")
+
+    def test_disabled_recorder_wants_nothing(self):
+        trace = TraceRecorder(enabled=False, categories=("blocking.",))
+        assert not trace.wants("blocking.start")
+
+    def test_empty_filter_drops_everything(self):
+        trace = TraceRecorder(categories=())
+        trace.record(1.0, "at.pass", None)
+        assert len(trace) == 0
+        assert not trace.wants("at.pass")

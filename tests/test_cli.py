@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in ("scenarios", "fig7", "table1", "overhead",
                         "ablations", "demo", "timeline", "report",
-                        "snapshot-stats"):
+                        "snapshot-stats", "bench-kernel"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -75,6 +75,23 @@ class TestParser:
     def test_table1_workers_flag(self):
         args = build_parser().parse_args(["table1", "--workers", "2"])
         assert args.workers == 2
+
+    def test_bench_kernel_flags(self):
+        args = build_parser().parse_args(
+            ["bench-kernel", "--quick", "--events", "5000",
+             "--horizon", "2000", "--repeats", "2", "--json", "out.json"])
+        assert args.quick
+        assert args.events == 5000
+        assert args.horizon == 2000.0
+        assert args.repeats == 2
+        assert args.json == "out.json"
+
+    def test_bench_kernel_defaults(self):
+        args = build_parser().parse_args(["bench-kernel"])
+        assert not args.quick
+        assert args.events is None
+        assert args.horizon is None
+        assert args.json is None
 
     def test_seed_requires_integer(self):
         with pytest.raises(SystemExit):
@@ -143,6 +160,19 @@ class TestExecution:
         # ...and the campaign cells landed in the cache directory.
         assert list(tmp_path.glob("*.json"))
 
+
+    def test_bench_kernel_quick_writes_record(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["bench-kernel", "--quick", "--events", "4000",
+                     "--horizon", "1500", "--json", str(out)]) == 0
+        assert "determinism" in capsys.readouterr().out
+        record = json.loads(out.read_text())
+        assert record["determinism"]["all"]
+        assert set(record["microbench"]) == {"churn", "cancel_storm"}
+        for bench in record["microbench"].values():
+            assert bench["identical_execution"]
+            assert set(bench["kernels"]) == {"legacy", "current", "pooled"}
 
     def test_snapshot_stats_prints_section_table(self, capsys):
         assert main(["snapshot-stats", "--horizon", "600",
