@@ -201,6 +201,65 @@ def _cmd_bench_kernel(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_audit(args) -> int:
+    import dataclasses
+    from .audit import (
+        AuditConfig,
+        artifact_schedules,
+        audit_schedule,
+        format_audit_report,
+        read_artifact,
+        run_audit,
+        sensitivity_config,
+        sensitivity_schedules,
+        write_artifact,
+    )
+
+    if args.expect_violation and args.expect_clean:
+        print("--expect-violation and --expect-clean are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        # Replay the counterexamples of an artifact (diagnosis mode):
+        # report every finding of every schedule, no fail-fast.
+        report = read_artifact(args.replay)
+        config = report.config
+        if args.mutation is not None:
+            config = dataclasses.replace(config, mutation=args.mutation)
+        violated = 0
+        for schedule in artifact_schedules(report):
+            findings = audit_schedule(config, schedule, fail_fast=False)
+            status = "VIOLATES" if findings else "clean"
+            print(f"{schedule.describe()}: {status}")
+            for finding in findings[:5]:
+                print(f"  {finding.describe()}")
+            violated += bool(findings)
+        if args.expect_violation:
+            return 0 if violated else 1
+        return 0 if not violated else 1
+
+    if args.mutation is not None:
+        config = sensitivity_config(mutation=args.mutation,
+                                    scheme=args.scheme, seed=args.seed)
+        schedules = sensitivity_schedules(config)
+    else:
+        config = AuditConfig(scheme=args.scheme, seed=args.seed,
+                             schedules=args.schedules, horizon=args.horizon)
+        schedules = None
+    report = run_audit(config, workers=args.workers, shrink=args.shrink,
+                       schedules=schedules, log=lambda msg: print(msg))
+    print(format_audit_report(report))
+    if args.out is not None:
+        write_artifact(report, args.out)
+        print(f"artifact written to {args.out}")
+    if args.expect_violation:
+        # Mutation testing / naive-scheme CI: success means the audit
+        # *caught* something.
+        return 0 if report.violations else 1
+    return 0 if report.clean else 1
+
+
 def _cmd_report(_args) -> int:
     from .experiments.report import generate_report
     print(generate_report())
@@ -353,6 +412,45 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="one narrated coordinated run")
     demo.add_argument("--seed", type=int, default=5)
     demo.set_defaults(fn=_cmd_demo)
+
+    audit = sub.add_parser(
+        "audit",
+        help="adversarial schedule audit: explore fault/timing schedules "
+             "under online invariant checking and shrink any violation "
+             "to a minimal replayable counterexample")
+    audit.add_argument("--scheme", default="coordinated",
+                       choices=["naive", "coordinated",
+                                "coordinated-no-swap"])
+    audit.add_argument("--seed", type=int, default=7,
+                       help="campaign master seed")
+    audit.add_argument("--schedules", type=int, default=120,
+                       help="number of schedules to explore")
+    audit.add_argument("--horizon", type=float, default=600.0,
+                       help="simulated seconds per schedule")
+    audit.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: serial)")
+    audit.add_argument("--shrink", action="store_true",
+                       help="delta-debug violating schedules to minimal "
+                            "counterexamples")
+    audit.add_argument("--out", metavar="PATH", default=None,
+                       help="write the campaign report (violations + "
+                            "shrunk schedules) as a replayable JSON "
+                            "artifact")
+    audit.add_argument("--replay", metavar="PATH", default=None,
+                       help="replay the counterexamples of an artifact "
+                            "instead of running a campaign")
+    audit.add_argument("--mutation", default=None,
+                       choices=["skip-pseudo-dirty", "drop-unacked-save",
+                                "skip-blocking"],
+                       help="plant the named protocol bug and run the "
+                            "mutation-sensitivity campaign")
+    audit.add_argument("--expect-violation", action="store_true",
+                       help="exit 0 iff the audit FOUND violations "
+                            "(naive-scheme and mutation CI)")
+    audit.add_argument("--expect-clean", action="store_true",
+                       help="exit 0 iff the audit found nothing (the "
+                            "default; spelled out for CI readability)")
+    audit.set_defaults(fn=_cmd_audit)
     return parser
 
 

@@ -31,6 +31,9 @@ class ProcessView:
     work_done: float
     epoch: Optional[int] = None
     kind: Optional[str] = None
+    #: Stable-content case of the source checkpoint (``"current-state"``
+    #: / ``"volatile-copy"``), ``None`` for volatile and live views.
+    content: Optional[str] = None
     meta: Dict = dataclasses.field(default_factory=dict)
     #: Accounted bytes per snapshot section of the source checkpoint
     #: (empty for live views, which never encode).
@@ -59,6 +62,8 @@ def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
         work_done=checkpoint.work_done,
         epoch=checkpoint.epoch,
         kind=checkpoint.kind.value,
+        content=(checkpoint.content.value
+                 if checkpoint.content is not None else None),
         meta=dict(checkpoint.meta),
         section_bytes=checkpoint.section_sizes())
 

@@ -55,6 +55,7 @@ ORPHAN_MESSAGE = "orphan-message"
 VALIDITY_MISMATCH = "validity-mismatch"
 UNRESTORABLE_MESSAGE = "unrestorable-message"
 UNDETECTED_CONTAMINATION = "undetected-contamination"
+PSEUDO_CONTAMINATION = "pseudo-undetected-contamination"
 
 #: Safety margin when comparing a record's timestamp against the other
 #: end's pruning horizon.  The two ends stamp the *same* message at
@@ -201,6 +202,38 @@ def check_ground_truth(line: Dict[ProcessId, ProcessView]) -> List[Violation]:
     return violations
 
 
+def check_pseudo_conservatism(line: Dict[ProcessId, ProcessView],
+                              guarded_active: ProcessId) -> List[Violation]:
+    """Conservatism of the *pseudo* dirty bit (modified MDCD only).
+
+    Paper footnote 2: for ``P1_act`` the pseudo dirty bit substitutes
+    for the dirty bit in the adapted TB protocol's ``write_disk``
+    decision.  A ``current-state`` stable checkpoint is therefore the
+    protocol claiming the captured state was validated — so, with
+    perfect acceptance-test coverage, it must not be contaminated.  (The
+    plain dirty-bit conservatism check of :func:`check_ground_truth`
+    never fires for ``P1_act``, whose dirty bit is constant 1 during
+    guarded operation.)
+
+    Only meaningful for schemes running the modified protocol: the
+    original MDCD has no pseudo bit, and its stale 0 value would make
+    this check misfire — callers gate on ``scheme.uses_modified_mdcd``.
+    """
+    view = line.get(guarded_active)
+    if view is None or view.content != "current-state":
+        return []
+    mdcd = view.snapshot.mdcd
+    if not mdcd.guarded or view.meta.get("genesis"):
+        return []
+    if mdcd.pseudo_dirty_bit == 0 and view.truly_corrupt:
+        return [Violation(
+            kind=PSEUDO_CONTAMINATION, process=guarded_active,
+            detail=(f"{guarded_active}'s current-state stable checkpoint "
+                    f"claims a validated state (pseudo dirty bit 0) but the "
+                    f"application state is contaminated"))]
+    return []
+
+
 def check_line(line: Dict[ProcessId, ProcessView],
                exempt_receivers: Iterable[ProcessId] = (),
                guarded_active: Optional[ProcessId] = None,
@@ -217,18 +250,27 @@ def check_line(line: Dict[ProcessId, ProcessView],
 
 
 def check_system_line(line: Dict[ProcessId, ProcessView],
-                      include_ground_truth: bool = True) -> List[Violation]:
+                      include_ground_truth: bool = True,
+                      pseudo_conservatism: bool = False) -> List[Violation]:
     """:func:`check_line` specialised to the paper's three-process
     system: the always-suspect ``P1_act`` is the exempt receiver and the
     shadow-log restorability arm is wired to the shadow's valid message
-    register as captured in the line itself."""
+    register as captured in the line itself.
+
+    ``pseudo_conservatism`` additionally runs
+    :func:`check_pseudo_conservatism` — pass it only for schemes running
+    the modified MDCD (see that checker's docstring).
+    """
     from ..types import Role
     active = ProcessId(Role.ACTIVE_1.value)
     shadow = line.get(ProcessId(Role.SHADOW_1.value))
     shadow_vr = shadow.snapshot.mdcd.vr if shadow is not None else None
-    return check_line(line, exempt_receivers=[active], guarded_active=active,
-                      shadow_vr=shadow_vr,
-                      include_ground_truth=include_ground_truth)
+    violations = check_line(line, exempt_receivers=[active],
+                            guarded_active=active, shadow_vr=shadow_vr,
+                            include_ground_truth=include_ground_truth)
+    if pseudo_conservatism and include_ground_truth:
+        violations += check_pseudo_conservatism(line, guarded_active=active)
+    return violations
 
 
 def check_live_system(system, include_ground_truth: bool = True) -> List[Violation]:

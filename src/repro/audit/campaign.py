@@ -1,0 +1,238 @@
+"""Audit campaigns: fan schedules out over workers, shrink violations.
+
+The worker function is module-level and takes/returns plain dicts, so
+:func:`repro.parallel.parallel_map` can ship it across process
+boundaries (and degrade to in-process execution transparently).  Each
+worker rebuilds the system from the :class:`AuditConfig` plus one
+:class:`FaultSchedule` — both fully serializable — so a campaign is
+deterministic regardless of worker count or placement.
+
+Shrinking runs in the coordinator (each shrink step is a full replay of
+one schedule, already fast); the shrunk minimal schedules are written
+into the JSON artifact next to the raw violations so a failing CI run
+uploads directly replayable counterexamples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..errors import AuditViolation
+from ..parallel import parallel_map
+from .auditor import AuditFinding, OnlineAuditor
+from .config import AuditConfig
+from .generator import generate_schedules
+from .mutations import plant_mutation
+from .schedule import FaultSchedule
+from .shrink import ShrinkResult, shrink_schedule
+
+#: Replay budget for shrinking one violating schedule.
+SHRINK_MAX_REPLAYS = 60
+
+
+def build_audit_system(config: AuditConfig, schedule: FaultSchedule):
+    """Build (and mutate, and arm — but not start) one audited system."""
+    from ..coordination.scheme import build_system
+    system = build_system(config.system_config(schedule))
+    if config.mutation is not None:
+        plant_mutation(system, config.mutation)
+    schedule.arm(system)
+    return system
+
+
+def audit_schedule(config: AuditConfig, schedule: FaultSchedule,
+                   fail_fast: bool = True) -> List[AuditFinding]:
+    """Run one schedule under the online auditor; returns its findings.
+
+    ``fail_fast`` stops the simulation at the first violation (the
+    campaign's mode); ``fail_fast=False`` runs to the horizon and
+    collects every finding (the replay/diagnosis mode).
+    """
+    system = build_audit_system(config, schedule)
+    auditor = OnlineAuditor(system, fail_fast=fail_fast,
+                            include_ground_truth=config.include_ground_truth)
+    try:
+        system.run()
+    except AuditViolation:
+        pass  # the finding is already recorded
+    try:
+        auditor.finalize()
+    except AuditViolation:
+        pass  # end-of-run oracle fired; likewise recorded
+    return auditor.findings
+
+
+def schedule_violates(config: AuditConfig, schedule: FaultSchedule) -> bool:
+    """The shrinker's predicate: does this schedule violate at all?
+
+    A replay that *crashes* the simulator (an unmodelled corner a
+    mutated candidate can reach, e.g. a crash pinned exactly onto a
+    recovery action) counts as non-violating: the shrinker must only
+    walk through candidates whose violation is an invariant finding.
+    """
+    try:
+        return bool(audit_schedule(config, schedule, fail_fast=True))
+    except Exception:
+        return False
+
+
+def _run_one_schedule(item) -> Dict:
+    """Worker: audit one ``(config_dict, schedule_dict)`` pair."""
+    config_dict, schedule_dict = item
+    config = AuditConfig.from_dict(config_dict)
+    schedule = FaultSchedule.from_dict(schedule_dict)
+    try:
+        findings = audit_schedule(config, schedule, fail_fast=True)
+    except Exception as exc:  # simulation bug — report, don't kill the pool
+        return {"schedule": schedule.to_dict(), "violated": False,
+                "findings": [], "error": f"{type(exc).__name__}: {exc}"}
+    return {"schedule": schedule.to_dict(),
+            "violated": bool(findings),
+            "findings": [f.to_dict() for f in findings],
+            "error": None}
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """Outcome of one audit campaign."""
+
+    config: AuditConfig
+    schedules_run: int
+    #: ``[{"schedule": ..., "findings": [...]}]`` for each violator.
+    violations: List[Dict]
+    #: ``[{"schedule": ..., "error": "..."}]`` for crashed replays.
+    errors: List[Dict]
+    #: ``[{"original": label, "schedule": ..., "replays": n}]``.
+    shrunk: List[Dict]
+    wall_seconds: float
+
+    @property
+    def clean(self) -> bool:
+        """No violations and no worker errors."""
+        return not self.violations and not self.errors
+
+    def to_dict(self) -> Dict:
+        return {
+            "config": self.config.to_dict(),
+            "fingerprint": self.config.fingerprint(),
+            "schedules_run": self.schedules_run,
+            "violations": self.violations,
+            "errors": self.errors,
+            "shrunk": self.shrunk,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AuditReport":
+        return cls(config=AuditConfig.from_dict(data["config"]),
+                   schedules_run=int(data["schedules_run"]),
+                   violations=list(data.get("violations", ())),
+                   errors=list(data.get("errors", ())),
+                   shrunk=list(data.get("shrunk", ())),
+                   wall_seconds=float(data.get("wall_seconds", 0.0)))
+
+
+def run_audit(config: AuditConfig, workers: Optional[int] = None,
+              shrink: bool = False,
+              schedules: Optional[List[FaultSchedule]] = None,
+              log: Optional[Callable[[str], None]] = None) -> AuditReport:
+    """Run a full campaign: generate, fan out, optionally shrink."""
+    emit = log or (lambda _msg: None)
+    start = time.monotonic()
+    if schedules is None:
+        schedules = generate_schedules(config)
+    emit(f"auditing {len(schedules)} schedules "
+         f"(scheme={config.scheme}, seed={config.seed}, "
+         f"workers={workers or 1})")
+
+    config_dict = config.to_dict()
+    items = [(config_dict, sched.to_dict()) for sched in schedules]
+    results = parallel_map(_run_one_schedule, items, workers=workers)
+
+    violations: List[Dict] = []
+    errors: List[Dict] = []
+    for result in results:
+        if result.get("error"):
+            errors.append({"schedule": result["schedule"],
+                           "error": result["error"]})
+        elif result["violated"]:
+            violations.append({"schedule": result["schedule"],
+                               "findings": result["findings"]})
+
+    shrunk: List[Dict] = []
+    if shrink and violations:
+        for entry in violations:
+            original = FaultSchedule.from_dict(entry["schedule"])
+            emit(f"shrinking {original.describe()}")
+            result: ShrinkResult = shrink_schedule(
+                original,
+                violates=lambda s: schedule_violates(config, s),
+                horizon=config.horizon,
+                max_replays=SHRINK_MAX_REPLAYS)
+            if result.violated:
+                emit(f"  -> {result.schedule.describe()} "
+                     f"({result.replays} replays)")
+                shrunk.append({"original": original.label,
+                               "schedule": result.schedule.to_dict(),
+                               "replays": result.replays})
+
+    return AuditReport(config=config, schedules_run=len(schedules),
+                       violations=violations, errors=errors, shrunk=shrunk,
+                       wall_seconds=time.monotonic() - start)
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+def write_artifact(report: AuditReport, path: str) -> None:
+    """Serialize a campaign report as a replayable JSON artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_artifact(path: str) -> AuditReport:
+    """Load a campaign artifact written by :func:`write_artifact`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return AuditReport.from_dict(json.load(fh))
+
+
+def artifact_schedules(report: AuditReport) -> List[FaultSchedule]:
+    """The replayable schedules of an artifact: every shrunk minimal
+    counterexample, plus the raw violators that have no shrunk form."""
+    shrunk_labels = {entry["original"] for entry in report.shrunk}
+    schedules = [FaultSchedule.from_dict(entry["schedule"])
+                 for entry in report.shrunk]
+    schedules += [FaultSchedule.from_dict(entry["schedule"])
+                  for entry in report.violations
+                  if entry["schedule"]["label"] not in shrunk_labels]
+    return schedules
+
+
+def format_audit_report(report: AuditReport) -> str:
+    """Human-readable campaign summary."""
+    lines = [
+        f"audit campaign: scheme={report.config.scheme} "
+        f"seed={report.config.seed} schedules={report.schedules_run} "
+        f"({report.wall_seconds:.1f}s)",
+    ]
+    if report.clean:
+        lines.append("  PASS: no invariant violations")
+        return "\n".join(lines)
+    for entry in report.violations:
+        sched = FaultSchedule.from_dict(entry["schedule"])
+        lines.append(f"  VIOLATION {sched.describe()}")
+        for finding in entry["findings"][:3]:
+            f = AuditFinding.from_dict(finding)
+            lines.append(f"    {f.describe()}")
+    for entry in report.shrunk:
+        sched = FaultSchedule.from_dict(entry["schedule"])
+        lines.append(f"  SHRUNK {entry['original']} -> {sched.describe()} "
+                     f"[{entry['replays']} replays]")
+    for entry in report.errors:
+        sched = FaultSchedule.from_dict(entry["schedule"])
+        lines.append(f"  ERROR {sched.describe()}: {entry['error']}")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Adversarial schedule generation.
+
+Two complementary generators feed an audit campaign:
+
+* :func:`boundary_schedules` — *systematic* enumeration.  A fault-free
+  reference run of the configured system yields a
+  :class:`ReferenceTimeline` (checkpoint commits, blocking windows,
+  acceptance-test passes, resynchronizations); schedules are then built
+  that pin faults exactly at the protocol's sensitive instants: crashes
+  a hair before/after a stable commit, crashes inside a TB blocking
+  period, software faults activated just before an acceptance-test
+  pass, crashes landing mid-software-recovery, coincident software +
+  hardware faults, double crashes, crashes at resynchronization times,
+  and clock-skew-extreme variants.
+* :func:`random_schedules` — *randomized* exploration from a seeded
+  RNG, boundary-biased: a slice of the random fault times is snapped
+  near commit instants so the random pool keeps hammering the same
+  sensitive windows with otherwise-novel fault mixes.
+
+Both are deterministic functions of the :class:`AuditConfig`; a
+campaign of ``N`` schedules is reproducible from the config alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.rng import derive_seed
+from .config import AuditConfig
+from .schedule import (
+    SYSTEM_NODES,
+    CrashSpec,
+    FaultSchedule,
+    SoftwareFaultSpec,
+)
+
+#: Epsilon used to land "just before"/"just after" a protocol instant.
+BOUNDARY_EPS = 0.25
+
+#: Clock-skew extremes explored by the override schedules.
+SKEW_DELTAS = (0.0, 0.5)
+SKEW_RHOS = (0.0, 1e-3)
+
+
+def _schedule_seed(config: AuditConfig, index: int) -> int:
+    """The system seed of the ``index``-th schedule (31-bit, stable)."""
+    return derive_seed(config.seed, f"audit:{index}") % (2 ** 31)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceTimeline:
+    """Protocol instants observed in a fault-free reference run."""
+
+    #: ``(time, process_id, epoch)`` of every stable-commit.
+    commits: Tuple[Tuple[float, str, int], ...]
+    #: ``(start, end)`` of every observed blocking period.
+    blocking: Tuple[Tuple[float, float], ...]
+    #: Times of acceptance-test passes.
+    at_passes: Tuple[float, ...]
+    #: Times of clock resynchronizations.
+    resyncs: Tuple[float, ...]
+
+    def commit_times(self) -> List[float]:
+        """Distinct commit instants, ascending."""
+        return sorted({t for t, _p, _e in self.commits})
+
+
+def reference_timeline(config: AuditConfig) -> ReferenceTimeline:
+    """Run the configured system fault-free and extract its timeline."""
+    from ..coordination.scheme import build_system
+    probe = FaultSchedule(label="reference",
+                          system_seed=_schedule_seed(config, 0),
+                          origin="boundary")
+    system = build_system(config.system_config(probe))
+    system.run()
+
+    commits: List[Tuple[float, str, int]] = []
+    blocking: List[Tuple[float, float]] = []
+    at_passes: List[float] = []
+    resyncs: List[float] = []
+    open_blocks: Dict[Optional[str], float] = {}
+    for rec in system.trace:
+        if rec.category == "tb.establish.done":
+            epoch = rec.data.get("epoch")
+            if epoch is not None:
+                commits.append((rec.time, str(rec.process), epoch))
+        elif rec.category == "blocking.start":
+            open_blocks[rec.process] = rec.time
+        elif rec.category == "blocking.end":
+            start = open_blocks.pop(rec.process, None)
+            if start is not None:
+                blocking.append((start, rec.time))
+        elif rec.category == "at.pass":
+            at_passes.append(rec.time)
+        elif rec.category == "resync":
+            resyncs.append(rec.time)
+    return ReferenceTimeline(commits=tuple(commits),
+                             blocking=tuple(sorted(blocking)),
+                             at_passes=tuple(at_passes),
+                             resyncs=tuple(resyncs))
+
+
+# ----------------------------------------------------------------------
+# systematic boundary enumeration
+# ----------------------------------------------------------------------
+def boundary_schedules(config: AuditConfig,
+                       timeline: Optional[ReferenceTimeline] = None
+                       ) -> List[FaultSchedule]:
+    """Every systematic boundary schedule, interleaved by category so a
+    truncated prefix still covers all categories."""
+    if timeline is None:
+        timeline = reference_timeline(config)
+    horizon = config.horizon
+    commit_times = [t for t in timeline.commit_times()
+                    if BOUNDARY_EPS < t < horizon - 1.0]
+    at_times = [t for t in timeline.at_passes
+                if BOUNDARY_EPS < t < horizon - 1.0]
+    # Any positive window qualifies: blocking is typically only the
+    # stable-write latency (~tens of ms), and the crash must land
+    # *inside* it — the midpoint does, for every length.
+    mid_blocks = sorted({(a + b) / 2.0 for a, b in timeline.blocking if b > a})
+
+    by_category: Dict[str, List[FaultSchedule]] = {}
+
+    def add(category: str, *, software=(), crashes=(), overrides=()) -> None:
+        group = by_category.setdefault(category, [])
+        group.append(FaultSchedule(
+            label=f"boundary:{category}:{len(group)}",
+            system_seed=0,  # reassigned by the interleave below
+            software=tuple(software), crashes=tuple(crashes),
+            overrides=tuple(overrides), origin="boundary"))
+
+    # Crashes pinned to checkpoint-commit boundaries: just before a
+    # commit (the establishment is mid-flight) and just after (the new
+    # line is the freshest possible recovery basis).
+    for t in commit_times:
+        for node in SYSTEM_NODES:
+            add("commit-edge",
+                crashes=[CrashSpec(node_id=node, crash_at=t - BOUNDARY_EPS)])
+            add("commit-edge",
+                crashes=[CrashSpec(node_id=node, crash_at=t + BOUNDARY_EPS)])
+
+    # Crashes inside a TB blocking period (buffered messages, content
+    # swaps and establishment commits all in flight).
+    for t in mid_blocks:
+        for node in SYSTEM_NODES:
+            add("mid-blocking", crashes=[CrashSpec(node_id=node, crash_at=t)])
+
+    # A software fault activated just before an acceptance-test pass:
+    # contamination that the very next validation wave will (wrongly,
+    # under the naive scheme) launder into the checkpoints.
+    for t in at_times:
+        add("pre-at", software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)])
+        # ... with a crash landing mid-software-recovery (the fault's
+        # eventual AT failure triggers rollback; crash it shortly after).
+        for node in SYSTEM_NODES:
+            add("mid-recovery",
+                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)],
+                crashes=[CrashSpec(node_id=node, crash_at=t + 2.0)])
+        # ... and the coincident case: software fault and crash at
+        # (essentially) the same instant.
+        for node in SYSTEM_NODES:
+            add("coincident",
+                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)],
+                crashes=[CrashSpec(node_id=node, crash_at=t)])
+
+    # Double crashes around one commit: the recovery line must survive
+    # losing two nodes in quick succession.
+    for t in commit_times:
+        for i, first in enumerate(SYSTEM_NODES):
+            for second in SYSTEM_NODES[i + 1:]:
+                add("double-crash",
+                    crashes=[CrashSpec(node_id=first, crash_at=t - BOUNDARY_EPS),
+                             CrashSpec(node_id=second, crash_at=t + 1.0)])
+
+    # Crashes at resynchronization instants (timer resets in flight).
+    for t in timeline.resyncs:
+        if not BOUNDARY_EPS < t < horizon - 1.0:
+            continue
+        for node in SYSTEM_NODES:
+            add("resync-edge", crashes=[CrashSpec(node_id=node, crash_at=t)])
+
+    # Clock-skew extremes: the same mid-horizon crash under the largest
+    # and smallest clock deviations the model admits.
+    mid = horizon / 2.0
+    for delta in SKEW_DELTAS:
+        for rho in SKEW_RHOS:
+            add("skew",
+                crashes=[CrashSpec(node_id="N2", crash_at=mid)],
+                overrides=[("clock_delta", delta), ("clock_rho", rho)])
+
+    # Round-robin interleave so truncation keeps category diversity,
+    # then assign each schedule its deterministic per-index system seed.
+    interleaved: List[FaultSchedule] = []
+    groups = [by_category[k] for k in sorted(by_category)]
+    while any(groups):
+        for group in groups:
+            if group:
+                interleaved.append(group.pop(0))
+    out: List[FaultSchedule] = []
+    for position, sched in enumerate(interleaved):
+        out.append(dataclasses.replace(
+            sched, system_seed=_schedule_seed(config, position)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# randomized exploration
+# ----------------------------------------------------------------------
+def random_schedules(config: AuditConfig, count: int, start_index: int = 0,
+                     timeline: Optional[ReferenceTimeline] = None
+                     ) -> List[FaultSchedule]:
+    """``count`` seeded-random schedules (indices ``start_index..``).
+
+    Fault times are boundary-biased: with probability 0.5 a time is
+    snapped near a commit instant of the reference timeline.
+    """
+    commit_times = timeline.commit_times() if timeline is not None else []
+    horizon = config.horizon
+    out: List[FaultSchedule] = []
+    for offset in range(count):
+        index = start_index + offset
+        rng = random.Random(derive_seed(config.seed, f"audit:rng:{index}"))
+
+        def pick_time(lo: float, hi: float) -> float:
+            if commit_times and rng.random() < 0.5:
+                base = rng.choice(commit_times)
+                jitter = rng.uniform(-2.0, 2.0)
+                return min(max(lo, base + jitter), hi)
+            return rng.uniform(lo, hi)
+
+        software: List[SoftwareFaultSpec] = []
+        for _ in range(rng.randint(0, config.max_software)):
+            activate = pick_time(10.0, horizon * 0.8)
+            deactivate = (activate + rng.uniform(20.0, 200.0)
+                          if rng.random() < 0.5 else None)
+            software.append(SoftwareFaultSpec(activate_at=activate,
+                                              deactivate_at=deactivate))
+        crashes: List[CrashSpec] = []
+        for _ in range(rng.randint(0, config.max_crashes)):
+            crashes.append(CrashSpec(
+                node_id=rng.choice(SYSTEM_NODES),
+                crash_at=pick_time(10.0, horizon * 0.9),
+                repair_time=rng.uniform(0.5, 5.0)))
+        out.append(FaultSchedule(
+            label=f"random:{index}",
+            system_seed=_schedule_seed(config, index),
+            software=tuple(sorted(software, key=lambda s: s.activate_at)),
+            crashes=tuple(sorted(crashes, key=lambda c: c.crash_at)),
+            origin="random"))
+    return out
+
+
+def generate_schedules(config: AuditConfig) -> List[FaultSchedule]:
+    """The campaign's full schedule list: a boundary-enumeration prefix
+    (up to ``boundary_fraction`` of the campaign) topped up with
+    seeded-random schedules."""
+    timeline = reference_timeline(config)
+    boundary = boundary_schedules(config, timeline)
+    n_boundary = min(len(boundary),
+                     int(round(config.schedules * config.boundary_fraction)))
+    schedules = boundary[:n_boundary]
+    schedules += random_schedules(config, config.schedules - n_boundary,
+                                  start_index=n_boundary, timeline=timeline)
+    return schedules

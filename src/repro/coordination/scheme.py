@@ -212,6 +212,18 @@ class System:
                                              shadow=shadow.process_id)
             sw_shadow = ModifiedShadowEngine(shadow)
             sw_peer = ModifiedPeerEngine(peer, at_peer)
+            # The adapted TB's checkpoint swap can durably anchor a
+            # process *before* internal sends its peers durably reflect
+            # receiving (e.g. P1_act's pseudo checkpoint vs. P2's
+            # current state once a later AT validated those messages).
+            # Such lines are safe exactly under the piecewise-
+            # determinism assumption of message-logging recovery: the
+            # rolled-back sender's replay regenerates the identical
+            # per-receiver stream and receivers deduplicate it — so the
+            # coordinated schemes carry destination sequence numbers.
+            # Found by the schedule audit; see DESIGN.md.
+            for proc in (active, shadow, peer):
+                proc.replay_dedup = True
         else:
             sw_active = OriginalActiveEngine(active, at_active,
                                              peer=peer.process_id,
@@ -295,6 +307,8 @@ class System:
         if self._started:
             return
         self._started = True
+        from ..messages.message import reset_msg_ids
+        reset_msg_ids()
         for proc in self.process_list():
             proc.start()
 

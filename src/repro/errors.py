@@ -69,3 +69,16 @@ class InvariantViolation(ProtocolError):
         #: The list of :class:`repro.analysis.invariants.Violation`
         #: records that triggered the exception (possibly empty).
         self.violations = list(violations or [])
+
+
+class AuditViolation(InvariantViolation):
+    """Raised by the online auditor (:mod:`repro.audit`) in fail-fast
+    mode: an invariant check failed at a protocol event while the
+    simulation was still running.  Carries the full
+    :class:`repro.audit.auditor.AuditFinding` — including the offending
+    global-state line — as :attr:`finding`."""
+
+    def __init__(self, message: str, violations=None, finding=None):
+        super().__init__(message, violations=violations)
+        #: The :class:`repro.audit.auditor.AuditFinding` that fired.
+        self.finding = finding

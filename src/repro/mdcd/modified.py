@@ -73,14 +73,18 @@ class ModifiedActiveEngine(MdcdEngineBase):
     def on_send_internal(self, action: Action) -> None:
         """Fig. 8: establish the pseudo checkpoint before the first
         internal send of a suspicion window, then send flagged dirty."""
-        payload = self.process.component.produce_internal(action.stimulus)
         if self.mdcd.pseudo_dirty_bit == 0:
             # First internal send since the last validation: establish
             # the pseudo checkpoint *before* the state's suspicion window
-            # opens (and before the sequence number is allocated — see
+            # opens — before the production itself (a faulty version
+            # contaminates the state while computing the message, and
+            # the pseudo checkpoint must anchor the last *validated*
+            # state) and before the sequence number is allocated (see
             # the module docstring).
             self.process.take_volatile_checkpoint(
                 CheckpointKind.PSEUDO, meta={"trigger": "first-internal-send"})
+        payload = self.process.component.produce_internal(action.stimulus)
+        if self.mdcd.pseudo_dirty_bit == 0:
             self.set_pseudo_dirty(1, reason="internal-send")
         sn = self.process.sn.allocate()
         self.process.send_internal(payload, [self.peer], sn=sn, dirty_bit=1,
@@ -88,9 +92,25 @@ class ModifiedActiveEngine(MdcdEngineBase):
                                    ndc=self.process.current_ndc())
 
     def on_passed_at(self, message: Message) -> None:
-        """Fig. 8: reset the pseudo dirty bit iff the Ndc matches."""
+        """Fig. 8: reset the pseudo dirty bit iff the Ndc matches.
+
+        Conservatism guard (a deviation the schedule audit forced — see
+        DESIGN.md): the notification certifies our messages only up to
+        its ``msg_SN``.  If we have allocated newer sequence numbers the
+        current state already depends on a produce the AT has not seen
+        (the contaminating send may literally still be in flight to
+        ``P2``), so the pseudo bit must stay set: resetting it here
+        would let the adapted TB write a ``current-state`` stable
+        checkpoint of an unvalidated — possibly contaminated — state.
+        The journals are still updated up to the certified bound.
+        """
         if not self.ndc_matches(message):
             self.process.counters.bump("passed_at.ndc_mismatch")
+            return
+        if (message.sn is not None and self.mdcd.pseudo_dirty_bit == 1
+                and message.sn < self.process.sn.current):
+            self.process.counters.bump("passed_at.stale_sn")
+            self.validate_knowledge(p1act_sn=message.sn)
             return
         self.set_pseudo_dirty(0, reason="passed-at")
         self.validate_knowledge(p1act_sn=message.sn)

@@ -83,6 +83,8 @@ class SoftwareRecoveryManager:
         self.incarnation = incarnation
         self.trace = trace
         self.completed = False
+        #: A takeover is waiting for the shadow's node to restart.
+        self.deferred = False
         #: Per-process recovery decisions of the last takeover, for
         #: tests and reports: {process_id: RecoveryAction}.
         self.decisions = {}
@@ -117,6 +119,26 @@ class SoftwareRecoveryManager:
             self.trace.record(sim.now, "recovery.software.duplicate",
                               detected_by.process_id)
             return
+        if self.shadow.node.crashed:
+            # Coincident software + hardware fault: the takeover target
+            # is down.  Fail-stop the faulty active immediately (no
+            # further contamination) but defer the takeover until the
+            # shadow's node restarts — the hardware recovery that runs
+            # on that restart rolls the survivors back first (its
+            # listener registered earlier), then the deferred takeover
+            # promotes the restored shadow.
+            if not self.active.deposed:
+                self.active.depose()
+            self._detach_active_from_peers()
+            if not self.deferred:
+                self.deferred = True
+                self.trace.record(sim.now, "recovery.software.deferred",
+                                  detected_by.process_id,
+                                  node=str(self.shadow.node.node_id))
+                self.shadow.node.on_restart(
+                    lambda _node: self.recover(detected_by, failed_message))
+            return
+        self.deferred = False
         self.completed = True
         self.trace.record(sim.now, "recovery.software.start",
                           detected_by.process_id,
@@ -124,7 +146,8 @@ class SoftwareRecoveryManager:
         # Fence off every message of the failed incarnation: the failed
         # active's traffic, and any pre-rollback traffic of the others.
         self.incarnation.bump()
-        self.active.depose()
+        if not self.active.deposed:
+            self.active.depose()
 
         for proc in [self.shadow] + self.peers:
             self._local_decision(proc)
@@ -142,6 +165,13 @@ class SoftwareRecoveryManager:
     # ------------------------------------------------------------------
     def _local_decision(self, proc) -> None:
         """The paper's local rule: dirty -> rollback, clean -> roll forward."""
+        if proc.node.crashed:
+            # A crashed survivor has nothing to decide: its volatile
+            # state is already lost, and its node's restart rolls every
+            # process back to the stable recovery line — strictly more
+            # conservative than either local decision.
+            proc.counters.bump("recovery.decision_skipped_crashed")
+            return
         if proc.mdcd.dirty_bit == 1:
             checkpoint = proc.volatile_checkpoint()
             if checkpoint is None:
@@ -210,6 +240,11 @@ class SoftwareRecoveryManager:
         """
         deposed = self.active.process_id
         for proc in [self.shadow] + self.peers:
+            if proc.node.crashed:
+                # A crashed survivor cannot transmit; its node's restart
+                # runs the hardware recovery, which resends its
+                # unacknowledged messages itself.
+                continue
             for message in proc.acks.unacknowledged():
                 if message.receiver == deposed:
                     proc.acks.acked(message.msg_id)

@@ -23,6 +23,20 @@ DEVICE: ProcessId = ProcessId("DEVICE")
 _msg_ids = itertools.count(1)
 
 
+def reset_msg_ids(start: int = 1) -> None:
+    """Restart the global message-id allocator.
+
+    ``System.start`` calls this so that message ids are a deterministic
+    function of one run, not of how many messages *earlier* runs in the
+    same OS process allocated — audit findings and golden traces must
+    be byte-identical whether a schedule runs first, last, or in a
+    worker subprocess.  Ids only need to be unique within one system;
+    no repo code runs two systems' event loops interleaved.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(start)
+
+
 @dataclasses.dataclass
 class Message:
     """A single message instance.

@@ -142,6 +142,26 @@ class StableStore(_AccountingMixin):
                 return ckpt
         return None
 
+    def discard_after_epoch(self, process_id: ProcessId, epoch: int) -> int:
+        """Drop retained checkpoints with an epoch *beyond* ``epoch``.
+
+        Hardware recovery calls this when rolling a process back to the
+        recovery line: checkpoints of later epochs belong to the
+        abandoned timeline, and leaving them retained would let a
+        subsequent recovery (or a global-state audit) assemble a line
+        mixing pre- and post-rollback states.  Returns the number of
+        checkpoints discarded.
+        """
+        chain = self._chain.get(process_id)
+        if not chain:
+            return 0
+        kept = [c for c in chain
+                if c.epoch is None or c.epoch <= epoch]
+        discarded = len(chain) - len(kept)
+        if discarded:
+            self._chain[process_id] = kept
+        return discarded
+
     def epochs(self, process_id: ProcessId) -> List[int]:
         """Retained epoch numbers for ``process_id`` (ascending)."""
         return [c.epoch for c in self._chain.get(process_id, []) if c.epoch is not None]

@@ -58,6 +58,26 @@ class TraceRecorder:
         self._prefixes: Optional[tuple] = (tuple(categories)
                                            if categories is not None else None)
         self._records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]
+                  ) -> Callable[[], None]:
+        """Register a callback invoked synchronously for every *kept*
+        record (after the enabled/category filter).  Returns an
+        unsubscribe function.
+
+        This is the hook the online auditor (:mod:`repro.audit`) uses
+        to run invariant checks at protocol events while the simulation
+        is still running; listeners may raise to fail fast.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+        return unsubscribe
 
     def wants(self, category: str) -> bool:
         """Whether a record in ``category`` would actually be kept —
@@ -75,8 +95,12 @@ class TraceRecorder:
         prefixes = self._prefixes
         if prefixes is not None and not category.startswith(prefixes):
             return
-        self._records.append(TraceRecord(time=time, category=category,
-                                         process=process, data=data))
+        rec = TraceRecord(time=time, category=category,
+                          process=process, data=data)
+        self._records.append(rec)
+        if self._listeners:
+            for listener in list(self._listeners):
+                listener(rec)
 
     # ------------------------------------------------------------------
     def records(self, category: Optional[str] = None,

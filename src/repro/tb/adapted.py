@@ -56,9 +56,7 @@ class AdaptedTbEngine(TbEngineBase):
         epoch = self.ndc + 1
         bit = self.process.confidence_bit()
         if bit == 0:
-            initial = self.process.capture_checkpoint(
-                CheckpointKind.STABLE, epoch=epoch,
-                content=StableContent.CURRENT_STATE)
+            initial = self._capture_stable(epoch, StableContent.CURRENT_STATE)
         else:
             rckpt = self.process.volatile_checkpoint()
             if rckpt is None:
@@ -68,16 +66,15 @@ class AdaptedTbEngine(TbEngineBase):
                 # rather than fail the establishment.
                 self.process.counters.bump("tb.missing_volatile")
                 self.trace("tb.missing_volatile")
-                initial = self.process.capture_checkpoint(
-                    CheckpointKind.STABLE, epoch=epoch,
-                    content=StableContent.CURRENT_STATE)
+                initial = self._capture_stable(epoch,
+                                               StableContent.CURRENT_STATE)
                 bit = 0
             else:
-                initial = rckpt.rewritten(
+                initial = self._apply_save_unacked(rckpt.rewritten(
                     kind=CheckpointKind.STABLE, epoch=epoch,
                     content=StableContent.VOLATILE_COPY,
                     meta={**rckpt.meta, "copied_from": rckpt.kind.value,
-                          "copied_taken_at": rckpt.taken_at})
+                          "copied_taken_at": rckpt.taken_at}))
         return PendingEstablishment(
             epoch=epoch, initial=initial, match_bit=bit,
             started_at=self.sim.now,
@@ -93,8 +90,7 @@ class AdaptedTbEngine(TbEngineBase):
                 and pending.match_bit == 1):
             pending.swap = True
             self.process.counters.bump("tb.swapped")
-            return self.process.capture_checkpoint(
-                CheckpointKind.STABLE, epoch=pending.epoch,
-                content=StableContent.SWAPPED_TO_CURRENT,
+            return self._capture_stable(
+                pending.epoch, StableContent.SWAPPED_TO_CURRENT,
                 meta={"swapped_at": self.sim.now})
         return pending.initial

@@ -129,18 +129,34 @@ class TbEngineBase:
         self._abort_pending("crash")
         self._alarm = None
 
-    def reset_after_recovery(self, epoch: int) -> None:
+    def next_boundary_index(self) -> int:
+        """Index of the next interval boundary on the local clock."""
+        return int(self.clock.now() / self.config.interval) + 1
+
+    def reset_after_recovery(self, epoch: int,
+                             boundary_index: Optional[int] = None) -> None:
         """Re-align after a hardware recovery: adopt the recovery line's
         epoch, abandon any in-progress establishment, and re-arm the
-        timer at the next interval boundary."""
+        timer at an interval boundary.
+
+        ``boundary_index`` is the restart boundary the recovery
+        coordinator agreed for *all* processes.  Without it, a recovery
+        landing within clock skew of a boundary splits the processes:
+        local clocks straddling the boundary re-arm a full interval
+        apart, and the resulting same-epoch checkpoints — taken an
+        interval apart, with application traffic in between — form a
+        genuinely inconsistent recovery line (found by the schedule
+        audit).  In a real system the agreed boundary piggybacks on the
+        recovery/restart message.
+        """
         if self.stopped:
             return
         self._abort_pending("hardware-recovery")
         self.ndc = epoch
         self._cancel_alarm()
-        local_now = self.clock.now()
-        boundary = (int(local_now / self.config.interval) + 1) * self.config.interval
-        self._arm(boundary)
+        if boundary_index is None:
+            boundary_index = self.next_boundary_index()
+        self._arm(boundary_index * self.config.interval)
         self.trace("tb.reset", epoch=epoch)
 
     # ------------------------------------------------------------------
@@ -226,15 +242,22 @@ class TbEngineBase:
         honouring the ``save_unacked`` ablation flag."""
         checkpoint = self.process.capture_checkpoint(
             CheckpointKind.STABLE, epoch=epoch, content=content, meta=meta)
-        if not self.config.save_unacked:
-            # Rewrite only the counters section (where ``unacked``
-            # lives); the other sections — including any delta-encoded
-            # journals — keep their payloads.
-            snapshot = checkpoint.restore_state()
-            snapshot.unacked = []
-            counters = split_sections(snapshot).get("counters", {})
-            checkpoint = checkpoint.with_section("counters", counters)
-        return checkpoint
+        return self._apply_save_unacked(checkpoint)
+
+    def _apply_save_unacked(self, checkpoint: Checkpoint) -> Checkpoint:
+        """Strip the unacknowledged-message set from stable contents when
+        the ``save_unacked`` ablation is off.  Every checkpoint an engine
+        saves to stable storage must pass through here — captures that
+        bypass it silently neutralize the ablation."""
+        if self.config.save_unacked:
+            return checkpoint
+        # Rewrite only the counters section (where ``unacked``
+        # lives); the other sections — including any delta-encoded
+        # journals — keep their payloads.
+        snapshot = checkpoint.restore_state()
+        snapshot.unacked = []
+        counters = split_sections(snapshot).get("counters", {})
+        return checkpoint.with_section("counters", counters)
 
     def _blocking_len(self, dirty_bit: int,
                       checkpoint: Optional[Checkpoint] = None) -> float:

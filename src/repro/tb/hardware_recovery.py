@@ -88,16 +88,33 @@ class HardwareRecoveryCoordinator:
         restored: List = []
         for proc in active:
             checkpoint = self._line_checkpoint(proc, line)
+            # Checkpoints beyond the line belong to the timeline this
+            # rollback abandons; drop them so no later recovery (or
+            # audit) can mix them with post-rollback establishments.
+            stale = proc.node.stable.discard_after_epoch(proc.process_id, line)
+            if stale:
+                proc.counters.bump("recovery.stale_epochs_discarded", stale)
             distance = proc.restore_from(checkpoint, "hardware")
             self.records.append(RollbackRecord(
                 time=sim.now, process_id=proc.process_id, distance=distance,
                 epoch=line, crashed_node=crashed_node))
             restored.append((proc, checkpoint))
         # Re-align the TB engines before resending: resends piggyback
-        # the post-recovery Ndc.
-        for proc, _ckpt in restored:
-            if proc.hardware is not None:
-                proc.hardware.reset_after_recovery(line)
+        # the post-recovery Ndc.  All engines must restart on the SAME
+        # interval boundary — local clocks straddling a boundary at this
+        # instant would otherwise re-arm an interval apart and produce
+        # same-epoch checkpoints bracketing live traffic — so agree on
+        # the latest next-boundary any of them sees.
+        engines = [proc.hardware for proc, _ckpt in restored
+                   if proc.hardware is not None]
+        indices = [eng.next_boundary_index() for eng in engines
+                   if hasattr(eng, "next_boundary_index")]
+        boundary_index = max(indices) if indices else None
+        for eng in engines:
+            if hasattr(eng, "next_boundary_index"):
+                eng.reset_after_recovery(line, boundary_index)
+            else:
+                eng.reset_after_recovery(line)
         for proc, _ckpt in restored:
             for message in proc.acks.unacknowledged():
                 receiver = self._find(message.receiver)

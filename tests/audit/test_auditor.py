@@ -1,0 +1,121 @@
+"""Tests for the online invariant auditor."""
+
+import pytest
+
+from repro.audit import (
+    AuditConfig,
+    AuditFinding,
+    CrashSpec,
+    FaultSchedule,
+    OnlineAuditor,
+    SoftwareFaultSpec,
+    audit_schedule,
+    build_audit_system,
+)
+from repro.errors import AuditViolation
+
+#: The first violating schedule the naive seed-7 campaign generates —
+#: a coincident software fault + crash of the shadow's node (the
+#: paper's Fig. 4 interference, rediscovered by the boundary
+#: enumeration and pinned here as a deterministic regression input).
+FIG4_SCHEDULE = FaultSchedule(
+    label="boundary:coincident:1", system_seed=761983209,
+    software=(SoftwareFaultSpec(activate_at=73.54541864228547),),
+    crashes=(CrashSpec(node_id="N1b", crash_at=73.79541864228547,
+                       repair_time=2.0),),
+    origin="boundary")
+
+
+def naive_config():
+    return AuditConfig(scheme="naive", seed=7, schedules=1)
+
+
+def coordinated_config():
+    return AuditConfig(scheme="coordinated", seed=7, schedules=1)
+
+
+class TestCleanRun:
+    def test_coordinated_fault_free_run_is_clean(self):
+        system = build_audit_system(
+            coordinated_config(),
+            FaultSchedule(label="clean", system_seed=11))
+        auditor = OnlineAuditor(system)
+        system.run()
+        auditor.finalize()
+        assert auditor.findings == []
+        assert auditor.epochs_checked > 5
+        assert auditor.live_checks > 0
+
+    def test_finalize_idempotent_and_detaches(self):
+        system = build_audit_system(
+            coordinated_config(),
+            FaultSchedule(label="clean", system_seed=11))
+        auditor = OnlineAuditor(system)
+        system.run()
+        auditor.finalize()
+        checked = auditor.epochs_checked
+        live = auditor.live_checks
+        auditor.finalize()
+        assert (auditor.epochs_checked, auditor.live_checks) == (checked, live)
+
+    def test_stats_counters(self):
+        system = build_audit_system(
+            coordinated_config(),
+            FaultSchedule(label="clean", system_seed=11))
+        auditor = OnlineAuditor(system)
+        system.run()
+        auditor.finalize()
+        stats = auditor.stats()
+        assert stats["findings"] == 0
+        assert stats["epochs_checked"] == auditor.epochs_checked
+
+
+class TestViolationDetection:
+    def test_naive_fig4_schedule_violates(self):
+        findings = audit_schedule(naive_config(), FIG4_SCHEDULE,
+                                  fail_fast=False)
+        assert findings
+        kinds = {v.kind for f in findings for v in f.violations}
+        assert "undetected-contamination" in kinds or "orphan-message" in kinds
+
+    def test_coordinated_survives_the_same_schedule(self):
+        findings = audit_schedule(coordinated_config(), FIG4_SCHEDULE,
+                                  fail_fast=False)
+        assert findings == []
+
+    def test_fail_fast_raises_with_finding_attached(self):
+        system = build_audit_system(naive_config(), FIG4_SCHEDULE)
+        auditor = OnlineAuditor(system, fail_fast=True)
+        with pytest.raises(AuditViolation) as excinfo:
+            system.run()
+            auditor.finalize()
+        assert excinfo.value.finding is auditor.findings[0]
+        assert excinfo.value.violations
+
+    def test_finding_attaches_offending_line(self):
+        findings = audit_schedule(naive_config(), FIG4_SCHEDULE,
+                                  fail_fast=False)
+        finding = findings[0]
+        assert finding.line  # per-process digest of the violating state
+        for summary in finding.line.values():
+            assert {"epoch", "content", "dirty_bit",
+                    "unacked"} <= set(summary)
+
+
+class TestAuditFinding:
+    def test_dict_round_trip(self):
+        findings = audit_schedule(naive_config(), FIG4_SCHEDULE,
+                                  fail_fast=False)
+        original = findings[0]
+        restored = AuditFinding.from_dict(original.to_dict())
+        assert restored.time == original.time
+        assert restored.hook == original.hook
+        assert [v.kind for v in restored.violations] == \
+            [v.kind for v in original.violations]
+
+    def test_describe_is_one_line(self):
+        findings = audit_schedule(naive_config(), FIG4_SCHEDULE,
+                                  fail_fast=False)
+        text = findings[0].describe()
+        assert "\n" not in text
+        assert "t=" in text

@@ -1,0 +1,106 @@
+"""Campaign-level tests: the headline audit results.
+
+The naive scheme must *rediscover* the paper's Fig. 4 interference
+automatically and shrink it to a minimal counterexample; the
+coordinated scheme must survive the same exploration clean.  Campaign
+results must be byte-identical regardless of worker count (determinism
+is what makes the JSON artifacts replayable).
+"""
+
+import pytest
+
+from repro.audit import (
+    AuditConfig,
+    FaultSchedule,
+    artifact_schedules,
+    audit_schedule,
+    read_artifact,
+    run_audit,
+    write_artifact,
+)
+
+pytestmark = pytest.mark.audit
+
+
+@pytest.fixture(scope="module")
+def naive_report():
+    return run_audit(AuditConfig(scheme="naive", seed=7, schedules=40),
+                     shrink=True)
+
+
+class TestNaiveRediscoversFig4:
+    def test_violations_found(self, naive_report):
+        assert naive_report.violations
+        assert not naive_report.errors
+
+    def test_fig4_shape(self, naive_report):
+        # At least one violation is the Fig. 4 coincident-fault shape:
+        # a software fault plus a crash, caught by the consistency or
+        # ground-truth oracle.
+        kinds = {v["kind"]
+                 for entry in naive_report.violations
+                 for finding in entry["findings"]
+                 for v in finding["violations"]}
+        assert kinds & {"orphan-message", "undetected-contamination",
+                        "validity-mismatch"}
+
+    def test_every_violation_shrunk_minimal(self, naive_report):
+        assert len(naive_report.shrunk) == len(naive_report.violations)
+        for entry in naive_report.shrunk:
+            shrunk = FaultSchedule.from_dict(entry["schedule"])
+            assert shrunk.fault_count <= 3
+            assert shrunk.origin == "shrunk"
+
+    def test_shrunk_schedules_still_violate_on_replay(self, naive_report):
+        config = naive_report.config
+        # Replaying a few shrunk schedules (each is one fast run).
+        for entry in naive_report.shrunk[:3]:
+            shrunk = FaultSchedule.from_dict(entry["schedule"])
+            assert audit_schedule(config, shrunk, fail_fast=True)
+
+
+class TestCoordinatedSurvives:
+    def test_short_campaign_clean(self):
+        report = run_audit(AuditConfig(scheme="coordinated", seed=7,
+                                       schedules=120))
+        assert report.clean, report.violations or report.errors
+
+    @pytest.mark.slow
+    def test_thousand_schedules_clean(self):
+        report = run_audit(AuditConfig(scheme="coordinated", seed=7,
+                                       schedules=1000), workers=4)
+        assert report.clean, report.violations or report.errors
+
+    @pytest.mark.slow
+    def test_no_swap_variant_clean(self):
+        report = run_audit(AuditConfig(scheme="coordinated-no-swap", seed=7,
+                                       schedules=200), workers=4)
+        assert report.clean, report.violations or report.errors
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        config = AuditConfig(scheme="naive", seed=11, schedules=20)
+        serial = run_audit(config, workers=1)
+        parallel = run_audit(config, workers=4)
+        assert serial.violations == parallel.violations
+        assert serial.errors == parallel.errors
+
+
+class TestArtifacts:
+    def test_artifact_round_trip(self, naive_report, tmp_path):
+        path = tmp_path / "naive.json"
+        write_artifact(naive_report, str(path))
+        restored = read_artifact(str(path))
+        assert restored.config == naive_report.config
+        assert restored.violations == naive_report.violations
+        assert restored.shrunk == naive_report.shrunk
+
+    def test_artifact_schedules_prefer_shrunk(self, naive_report, tmp_path):
+        path = tmp_path / "naive.json"
+        write_artifact(naive_report, str(path))
+        schedules = artifact_schedules(read_artifact(str(path)))
+        # Every violator has a shrunk form, so only shrunk schedules
+        # come back — all replayable.
+        assert len(schedules) == len(naive_report.shrunk)
+        assert all(s.origin == "shrunk" for s in schedules)

@@ -1,0 +1,92 @@
+"""Tests for the adversarial schedule generators."""
+
+import pytest
+
+from repro.audit import (
+    AuditConfig,
+    boundary_schedules,
+    generate_schedules,
+    random_schedules,
+    reference_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    """A small campaign config shared by the generator tests."""
+    return AuditConfig(scheme="coordinated", seed=3, schedules=24,
+                      horizon=150.0, tb_interval=30.0)
+
+
+@pytest.fixture(scope="module")
+def timeline(config):
+    return reference_timeline(config)
+
+
+class TestReferenceTimeline:
+    def test_observes_commits(self, config, timeline):
+        assert timeline.commits
+        # Three processes commit each epoch within the horizon.
+        assert len(timeline.commit_times()) >= 2
+
+    def test_observes_blocking_windows(self, timeline):
+        assert timeline.blocking
+        assert all(start < end for start, end in timeline.blocking)
+
+    def test_deterministic(self, config, timeline):
+        again = reference_timeline(config)
+        assert again == timeline
+
+
+class TestBoundarySchedules:
+    def test_covers_the_sensitive_instants(self, config, timeline):
+        schedules = boundary_schedules(config, timeline)
+        categories = {s.label.split(":")[1] for s in schedules}
+        assert {"commit-edge", "mid-blocking", "pre-at", "mid-recovery",
+                "coincident", "double-crash", "skew"} <= categories
+
+    def test_interleaved_prefix_keeps_diversity(self, config, timeline):
+        schedules = boundary_schedules(config, timeline)
+        prefix = {s.label.split(":")[1] for s in schedules[:10]}
+        assert len(prefix) >= 5
+
+    def test_seeds_are_positional(self, config, timeline):
+        schedules = boundary_schedules(config, timeline)
+        seeds = [s.system_seed for s in schedules]
+        assert len(set(seeds)) == len(seeds)
+        # The same call yields the same seeds (resumable campaigns).
+        assert seeds == [s.system_seed
+                         for s in boundary_schedules(config, timeline)]
+
+
+class TestRandomSchedules:
+    def test_respects_fault_budgets(self, config, timeline):
+        for sched in random_schedules(config, 30, timeline=timeline):
+            assert len(sched.software) <= config.max_software
+            assert len(sched.crashes) <= config.max_crashes
+
+    def test_deterministic_per_index(self, config, timeline):
+        a = random_schedules(config, 10, start_index=5, timeline=timeline)
+        b = random_schedules(config, 10, start_index=5, timeline=timeline)
+        assert a == b
+
+    def test_labels_carry_index(self, config, timeline):
+        scheds = random_schedules(config, 3, start_index=7, timeline=timeline)
+        assert [s.label for s in scheds] == ["random:7", "random:8", "random:9"]
+
+
+class TestGenerateSchedules:
+    def test_campaign_size_and_split(self, config):
+        schedules = generate_schedules(config)
+        assert len(schedules) == config.schedules
+        origins = {s.origin for s in schedules}
+        assert origins == {"boundary", "random"}
+        n_boundary = sum(s.origin == "boundary" for s in schedules)
+        assert n_boundary == round(config.schedules * config.boundary_fraction)
+
+    def test_reproducible_from_config_alone(self, config):
+        assert generate_schedules(config) == generate_schedules(config)
+
+    def test_labels_unique(self, config):
+        labels = [s.label for s in generate_schedules(config)]
+        assert len(set(labels)) == len(labels)

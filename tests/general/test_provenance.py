@@ -163,9 +163,22 @@ class TestReplayDedup:
                      if p.counters.get("recv.duplicate")]
         assert len(receivers) == 1
 
-    def test_three_process_schemes_have_no_dsn(self):
+    def test_coordinated_scheme_carries_dsn(self):
+        # The adapted TB's checkpoint swap can anchor a process before
+        # sends its peers reflect receiving; the coordinated schemes
+        # therefore carry dsn so rolled-back replay deduplicates (found
+        # by the schedule audit — see DESIGN.md).
         from repro.coordination.scheme import Scheme, SystemConfig, build_system
         system = build_system(SystemConfig(scheme=Scheme.COORDINATED,
+                                           seed=1, horizon=300.0))
+        system.run()
+        recs = system.peer.journal_recv.records(sender=system.active.process_id)
+        assert recs and all(r.dsn is not None for r in recs)
+
+    def test_naive_scheme_has_no_dsn(self):
+        # The paper-faithful original protocols stay dsn-free.
+        from repro.coordination.scheme import Scheme, SystemConfig, build_system
+        system = build_system(SystemConfig(scheme=Scheme.NAIVE,
                                            seed=1, horizon=300.0))
         system.run()
         recs = system.peer.journal_recv.records(sender=system.active.process_id)

@@ -1,0 +1,84 @@
+"""Golden-trace regression: the Fig. 6 cases are byte-stable.
+
+The pinned digests in ``tests/golden/fig6_traces.json`` fingerprint the
+canonical protocol trace of six deterministic coordinated runs (clean,
+two crash topologies, software takeover, coincident fault, clock-skew
+extreme).  They must not change across repeated runs in one process,
+across worker processes, or across unrelated work that happens to run
+first (the per-run message-id reset) — the same determinism the audit
+campaign's replayable artifacts depend on.
+
+If a protocol change legitimately alters an execution, regenerate with:
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.audit import GOLDEN_CONFIG, golden_digests
+    print(json.dumps({'config_fingerprint': GOLDEN_CONFIG.fingerprint(),
+                      'digests': golden_digests()}, indent=2, sort_keys=True))
+    " > tests/golden/fig6_traces.json
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.audit import GOLDEN_CONFIG, golden_digests, golden_schedules
+from repro.audit.campaign import build_audit_system
+from repro.audit.golden import canonical_trace_lines, trace_digest
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "golden" / "fig6_traces.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def serial_digests():
+    return golden_digests()
+
+
+class TestGoldenTraces:
+    def test_config_unchanged(self, golden):
+        assert golden["config_fingerprint"] == GOLDEN_CONFIG.fingerprint(), \
+            "GOLDEN_CONFIG changed — regenerate tests/golden/fig6_traces.json"
+
+    def test_six_cases_pinned(self, golden):
+        assert len(golden["digests"]) == 6
+        assert set(golden["digests"]) == {s.label for s in golden_schedules()}
+
+    def test_digests_match_golden(self, golden, serial_digests):
+        assert serial_digests == golden["digests"]
+
+    def test_repeat_run_in_same_process_identical(self, serial_digests):
+        # The per-run message-id reset makes a second run byte-identical
+        # even though earlier runs consumed ids from the allocator.
+        assert golden_digests() == serial_digests
+
+    def test_worker_processes_identical(self, golden):
+        assert golden_digests(workers=2) == golden["digests"]
+
+    def test_cases_exercise_the_recovery_machinery(self):
+        by_label = {s.label: s for s in golden_schedules()}
+        software = build_audit_system(GOLDEN_CONFIG, by_label["fig6:software"])
+        software.run()
+        assert software.sw_recovery.completed
+        coincident = build_audit_system(GOLDEN_CONFIG,
+                                        by_label["fig6:coincident"])
+        coincident.run()
+        assert coincident.sw_recovery.completed
+        assert coincident.hw_recovery.recoveries >= 1
+
+    def test_canonical_lines_are_sorted_fields(self):
+        system = build_audit_system(GOLDEN_CONFIG, golden_schedules()[0])
+        system.run()
+        lines = canonical_trace_lines(system)
+        assert lines
+        digest = trace_digest(lines)
+        assert digest == trace_digest(list(lines))  # pure function
+        for line in lines:
+            time_str = line.split()[0]
+            float(time_str)  # canonical fixed-precision times

@@ -14,9 +14,41 @@ class TestParser:
         parser = build_parser()
         for command in ("scenarios", "fig7", "table1", "overhead",
                         "ablations", "demo", "timeline", "report",
-                        "snapshot-stats", "bench-kernel"):
+                        "snapshot-stats", "bench-kernel", "audit"):
             args = parser.parse_args([command])
             assert callable(args.fn)
+
+    def test_audit_flags(self):
+        args = build_parser().parse_args(
+            ["audit", "--scheme", "naive", "--seed", "3", "--schedules",
+             "50", "--horizon", "400", "--workers", "2", "--shrink",
+             "--out", "a.json", "--expect-violation"])
+        assert args.scheme == "naive"
+        assert args.seed == 3
+        assert args.schedules == 50
+        assert args.horizon == 400.0
+        assert args.workers == 2
+        assert args.shrink
+        assert args.out == "a.json"
+        assert args.expect_violation
+        assert not args.expect_clean
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.scheme == "coordinated"
+        assert args.schedules == 120
+        assert not args.shrink
+        assert args.out is None
+        assert args.replay is None
+        assert args.mutation is None
+
+    def test_audit_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--scheme", "mdcd-only"])
+
+    def test_audit_rejects_unknown_mutation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--mutation", "bogus"])
 
     def test_snapshot_stats_flags(self):
         args = build_parser().parse_args(
@@ -186,3 +218,36 @@ class TestExecution:
         assert main(["timeline", "--scheme", "mdcd-only", "--width", "60"]) == 0
         out = capsys.readouterr().out
         assert "P1_act" in out and "|" in out
+
+    def test_audit_conflicting_expectations(self, capsys):
+        assert main(["audit", "--expect-violation", "--expect-clean"]) == 2
+
+    def test_audit_naive_finds_and_shrinks(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "naive.json"
+        code = main(["audit", "--scheme", "naive", "--seed", "7",
+                     "--schedules", "12", "--shrink", "--out", str(out),
+                     "--expect-violation"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "VIOLATION" in text
+        assert "SHRUNK" in text
+        artifact = json.loads(out.read_text())
+        assert artifact["violations"]
+        assert artifact["shrunk"]
+
+    def test_audit_coordinated_small_campaign_clean(self, capsys):
+        assert main(["audit", "--scheme", "coordinated", "--seed", "7",
+                     "--schedules", "30", "--expect-clean"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_audit_replay_artifact(self, capsys, tmp_path):
+        out = tmp_path / "naive.json"
+        assert main(["audit", "--scheme", "naive", "--seed", "7",
+                     "--schedules", "12", "--shrink", "--out", str(out),
+                     "--expect-violation"]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--replay", str(out),
+                     "--expect-violation"]) == 0
+        text = capsys.readouterr().out
+        assert "VIOLATES" in text
