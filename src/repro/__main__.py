@@ -201,6 +201,27 @@ def _cmd_bench_kernel(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_warmstart(args) -> int:
+    from .experiments.warmstart_bench import (
+        bench_record,
+        format_record,
+        write_record,
+    )
+
+    kwargs = {}
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.golden is not None:
+        kwargs["golden_path"] = args.golden
+    record = bench_record(**kwargs)
+    if args.json:
+        write_record(record, args.json)
+    print(format_record(record))
+    # The CLI gates on equivalence (a fast wrong answer is worthless);
+    # the speedup floor is asserted by benchmarks/bench_warmstart.py.
+    return 0 if record["equivalent"] else 1
+
+
 def _cmd_audit(args) -> int:
     import dataclasses
     from .audit import (
@@ -239,6 +260,7 @@ def _cmd_audit(args) -> int:
             return 0 if violated else 1
         return 0 if not violated else 1
 
+    timeline = None
     if args.mutation is not None:
         config = sensitivity_config(mutation=args.mutation,
                                     scheme=args.scheme, seed=args.seed)
@@ -247,8 +269,19 @@ def _cmd_audit(args) -> int:
         config = AuditConfig(scheme=args.scheme, seed=args.seed,
                              schedules=args.schedules, horizon=args.horizon)
         schedules = None
+        if args.warmstart:
+            # Warm-start trades per-schedule seed diversity for prefix
+            # reuse: generate the campaign once (reference timeline
+            # computed here, reused for image capture), then rewrite
+            # every schedule onto the shared system seed.
+            from .audit.generator import generate_schedules, reference_timeline
+            from .warmstart import share_schedule_seeds
+            timeline = reference_timeline(config)
+            schedules = share_schedule_seeds(
+                config, generate_schedules(config, timeline=timeline))
     report = run_audit(config, workers=args.workers, shrink=args.shrink,
-                       schedules=schedules, log=lambda msg: print(msg))
+                       schedules=schedules, log=lambda msg: print(msg),
+                       warmstart=args.warmstart, timeline=timeline)
     print(format_audit_report(report))
     if args.out is not None:
         write_artifact(report, args.out)
@@ -383,6 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="small sizes for a smoke run")
     bench_kernel.set_defaults(fn=_cmd_bench_kernel)
 
+    bench_warm = sub.add_parser(
+        "bench-warmstart",
+        help="measure warm-start prefix-resume speedup vs cold replay "
+             "and verify findings / shrink / trace-digest equivalence")
+    bench_warm.add_argument("--json", metavar="PATH", default=None,
+                            help="write BENCH_warmstart.json-style record "
+                                 "to PATH")
+    bench_warm.add_argument("--horizon", type=float, default=None,
+                            help="bench campaign horizon (seconds)")
+    bench_warm.add_argument("--golden", metavar="PATH", default=None,
+                            help="pinned golden digests path override")
+    bench_warm.set_defaults(fn=_cmd_bench_warmstart)
+
     snapstats = sub.add_parser(
         "snapshot-stats",
         help="run a short seeded scenario and print the per-section "
@@ -444,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "skip-blocking"],
                        help="plant the named protocol bug and run the "
                             "mutation-sensitivity campaign")
+    audit.add_argument("--warmstart", action="store_true",
+                       help="execute schedules by prefix-resume from "
+                            "full-system reference images (shared "
+                            "campaign seed; identical findings, less "
+                            "wall-clock)")
     audit.add_argument("--expect-violation", action="store_true",
                        help="exit 0 iff the audit FOUND violations "
                             "(naive-scheme and mutation CI)")

@@ -137,7 +137,10 @@ class OnlineAuditor:
         self._pending_epochs: set = set()
         self._checked_epochs: set = set()
         self._max_epoch_seen = -1
-        self._unsubscribe = system.trace.subscribe(self._on_record)
+        # Subscribe the bound method and remember it (not the closure
+        # subscribe() returns) so auditors pickle into warm-start images.
+        self._listener = self._on_record
+        system.trace.subscribe(self._listener)
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -220,7 +223,7 @@ class OnlineAuditor:
         if self._finalized:
             return self.findings
         self._finalized = True
-        self._unsubscribe()
+        self.system.trace.unsubscribe(self._listener)
         now = self.system.sim.now
         self._drain_pending(now)
         self._check_live(now, hook="end-of-run")

@@ -24,7 +24,7 @@ from ..errors import AuditViolation
 from ..parallel import parallel_map
 from .auditor import AuditFinding, OnlineAuditor
 from .config import AuditConfig
-from .generator import generate_schedules
+from .generator import generate_schedules, reference_timeline
 from .mutations import plant_mutation
 from .schedule import FaultSchedule
 from .shrink import ShrinkResult, shrink_schedule
@@ -108,6 +108,8 @@ class AuditReport:
     #: ``[{"original": label, "schedule": ..., "replays": n}]``.
     shrunk: List[Dict]
     wall_seconds: float
+    #: Warm-start execution counters (``None`` for cold campaigns).
+    warmstart: Optional[Dict] = None
 
     @property
     def clean(self) -> bool:
@@ -123,6 +125,7 @@ class AuditReport:
             "errors": self.errors,
             "shrunk": self.shrunk,
             "wall_seconds": self.wall_seconds,
+            "warmstart": self.warmstart,
         }
 
     @classmethod
@@ -132,56 +135,148 @@ class AuditReport:
                    violations=list(data.get("violations", ())),
                    errors=list(data.get("errors", ())),
                    shrunk=list(data.get("shrunk", ())),
-                   wall_seconds=float(data.get("wall_seconds", 0.0)))
+                   wall_seconds=float(data.get("wall_seconds", 0.0)),
+                   warmstart=data.get("warmstart"))
+
+
+def _run_warm_serial(runner, config: AuditConfig,
+                     schedules: List[FaultSchedule]) -> List[Dict]:
+    """Coordinator-side warm loop (same result dicts as the worker)."""
+    results: List[Dict] = []
+    for schedule in schedules:
+        try:
+            findings = runner.audit_schedule(schedule, fail_fast=True)
+        except Exception as exc:
+            results.append({"schedule": schedule.to_dict(), "violated": False,
+                            "findings": [],
+                            "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        results.append({"schedule": schedule.to_dict(),
+                        "violated": bool(findings),
+                        "findings": [f.to_dict() for f in findings],
+                        "error": None})
+    return results
 
 
 def run_audit(config: AuditConfig, workers: Optional[int] = None,
               shrink: bool = False,
               schedules: Optional[List[FaultSchedule]] = None,
-              log: Optional[Callable[[str], None]] = None) -> AuditReport:
-    """Run a full campaign: generate, fan out, optionally shrink."""
+              log: Optional[Callable[[str], None]] = None,
+              warmstart: bool = False,
+              image_store=None,
+              timeline=None) -> AuditReport:
+    """Run a full campaign: generate, fan out, optionally shrink.
+
+    ``warmstart=True`` executes schedules by prefix-resume from
+    full-system reference images (:mod:`repro.warmstart`) wherever a
+    usable image exists, falling back to cold replay otherwise — the
+    findings are identical either way.  Warm-start pays off when
+    schedules share a ``(seed, overrides)`` prefix (see
+    ``repro.warmstart.share_schedule_seeds``) and always pays off for
+    shrinking, whose replays all share the violator's prefix.  The
+    reference timeline is computed at most once per campaign and
+    threaded into generation and image capture; callers that already
+    have it pass ``timeline``.
+    """
     emit = log or (lambda _msg: None)
     start = time.monotonic()
+    if timeline is None and (schedules is None or warmstart):
+        timeline = reference_timeline(config)
     if schedules is None:
-        schedules = generate_schedules(config)
+        schedules = generate_schedules(config, timeline=timeline)
     emit(f"auditing {len(schedules)} schedules "
          f"(scheme={config.scheme}, seed={config.seed}, "
-         f"workers={workers or 1})")
+         f"workers={workers or 1}, warmstart={'on' if warmstart else 'off'})")
 
     config_dict = config.to_dict()
-    items = [(config_dict, sched.to_dict()) for sched in schedules]
-    results = parallel_map(_run_one_schedule, items, workers=workers)
+    runner = None
+    cleanup_root: Optional[str] = None
+    if warmstart:
+        from ..warmstart import ImageStore, WarmRunner
+        store = image_store
+        if workers is not None and workers > 1 and (
+                store is None or store.root is None):
+            # Workers consume images through the filesystem.
+            import tempfile
+            cleanup_root = tempfile.mkdtemp(prefix="repro-warmstart-")
+            store = ImageStore(root=cleanup_root)
+        runner = WarmRunner(config, store=store, timeline=timeline)
+        runner.plan(schedules)
 
-    violations: List[Dict] = []
-    errors: List[Dict] = []
-    for result in results:
-        if result.get("error"):
-            errors.append({"schedule": result["schedule"],
-                           "error": result["error"]})
-        elif result["violated"]:
-            violations.append({"schedule": result["schedule"],
-                               "findings": result["findings"]})
+    try:
+        if runner is not None and workers is not None and workers > 1:
+            # Build each shared prefix once here, fan consumption out.
+            from ..warmstart.engine import _run_one_schedule_warm
+            built = set()
+            for sched in schedules:
+                digest = runner._key(sched).digest()
+                if digest not in built:
+                    built.add(digest)
+                    runner.ensure_images(sched)
+            items = [(config_dict, sched.to_dict(), str(runner.store.root))
+                     for sched in schedules]
+            results = parallel_map(_run_one_schedule_warm, items,
+                                   workers=workers)
+        elif runner is not None:
+            results = _run_warm_serial(runner, config, schedules)
+        else:
+            items = [(config_dict, sched.to_dict()) for sched in schedules]
+            results = parallel_map(_run_one_schedule, items, workers=workers)
 
-    shrunk: List[Dict] = []
-    if shrink and violations:
-        for entry in violations:
-            original = FaultSchedule.from_dict(entry["schedule"])
-            emit(f"shrinking {original.describe()}")
-            result: ShrinkResult = shrink_schedule(
-                original,
-                violates=lambda s: schedule_violates(config, s),
-                horizon=config.horizon,
-                max_replays=SHRINK_MAX_REPLAYS)
-            if result.violated:
-                emit(f"  -> {result.schedule.describe()} "
-                     f"({result.replays} replays)")
-                shrunk.append({"original": original.label,
-                               "schedule": result.schedule.to_dict(),
-                               "replays": result.replays})
+        violations: List[Dict] = []
+        errors: List[Dict] = []
+        for result in results:
+            if result.get("error"):
+                errors.append({"schedule": result["schedule"],
+                               "error": result["error"]})
+            elif result["violated"]:
+                violations.append({"schedule": result["schedule"],
+                                   "findings": result["findings"]})
+
+        shrunk: List[Dict] = []
+        if shrink and violations:
+            for entry in violations:
+                original = FaultSchedule.from_dict(entry["schedule"])
+                emit(f"shrinking {original.describe()}")
+                if runner is not None:
+                    # Every shrink candidate shares the violator's
+                    # prefix: always worth a reference image set.
+                    runner.ensure_images(original, force=True)
+                    predicate = runner.violates
+                else:
+                    predicate = lambda s: schedule_violates(config, s)  # noqa: E731
+                result: ShrinkResult = shrink_schedule(
+                    original,
+                    violates=predicate,
+                    horizon=config.horizon,
+                    max_replays=SHRINK_MAX_REPLAYS)
+                if result.violated:
+                    emit(f"  -> {result.schedule.describe()} "
+                         f"({result.replays} replays, "
+                         f"{result.cache_hits} memo hits)")
+                    shrunk.append({"original": original.label,
+                                   "schedule": result.schedule.to_dict(),
+                                   "replays": result.replays,
+                                   "cache_hits": result.cache_hits})
+    finally:
+        if cleanup_root is not None:
+            import shutil
+            shutil.rmtree(cleanup_root, ignore_errors=True)
+
+    warm_stats = None
+    if runner is not None:
+        warm_stats = runner.stats()
+        if workers is not None and workers > 1:
+            warm_stats["worker_warm_runs"] = sum(
+                1 for r in results if r.get("warm"))
+        emit(f"warmstart: {runner.warm_runs} warm / {runner.cold_runs} cold "
+             f"coordinator runs, {runner.sets_built} image sets "
+             f"({runner.build_seconds:.2f}s building)")
 
     return AuditReport(config=config, schedules_run=len(schedules),
                        violations=violations, errors=errors, shrunk=shrunk,
-                       wall_seconds=time.monotonic() - start)
+                       wall_seconds=time.monotonic() - start,
+                       warmstart=warm_stats)
 
 
 # ----------------------------------------------------------------------

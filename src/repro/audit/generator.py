@@ -253,11 +253,19 @@ def random_schedules(config: AuditConfig, count: int, start_index: int = 0,
     return out
 
 
-def generate_schedules(config: AuditConfig) -> List[FaultSchedule]:
+def generate_schedules(config: AuditConfig,
+                       timeline: Optional[ReferenceTimeline] = None
+                       ) -> List[FaultSchedule]:
     """The campaign's full schedule list: a boundary-enumeration prefix
     (up to ``boundary_fraction`` of the campaign) topped up with
-    seeded-random schedules."""
-    timeline = reference_timeline(config)
+    seeded-random schedules.
+
+    ``timeline`` lets callers that already ran the reference (the
+    campaign runner, the warm-start engine) pass it in; a campaign
+    computes the reference timeline exactly once.
+    """
+    if timeline is None:
+        timeline = reference_timeline(config)
     boundary = boundary_schedules(config, timeline)
     n_boundary = min(len(boundary),
                      int(round(config.schedules * config.boundary_fraction)))

@@ -23,19 +23,30 @@ from ..sim.rng import derive_seed
 from .schedule import CrashSpec, FaultSchedule
 
 
+class _PseudoDirtySuppressor:
+    """``set_pseudo_dirty`` wrapper that drops the ``<- 1`` arm.
+
+    A callable class (not a closure) wrapping the original bound
+    method, so mutated systems stay picklable — warm-start images
+    capture the whole system object graph, planted bugs included.
+    """
+
+    def __init__(self, original) -> None:
+        self.original = original
+
+    def __call__(self, value: int, reason: str = "") -> None:
+        if value == 1:
+            return  # the planted bug: never mark the state suspect
+        self.original(value, reason)
+
+
 def _skip_pseudo_dirty(system) -> None:
     """Drop the ``pseudo_dirty_bit <- 1`` on internal sends (modified
     MDCD, Appendix A step A2): contaminated state then reaches stable
     storage as a ``current-state`` checkpoint claiming validation —
     caught by the pseudo-conservatism oracle."""
     engine = system.active.software
-    original = engine.set_pseudo_dirty
-
-    def patched(value: int, reason: str = "") -> None:
-        if value == 1:
-            return  # the planted bug: never mark the state suspect
-        original(value, reason)
-    engine.set_pseudo_dirty = patched
+    engine.set_pseudo_dirty = _PseudoDirtySuppressor(engine.set_pseudo_dirty)
 
 
 def _drop_unacked_save(system) -> None:

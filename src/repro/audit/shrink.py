@@ -40,30 +40,50 @@ class ShrinkResult:
     #: Whether the *input* schedule violated at all (when ``False`` the
     #: schedule is returned untouched — nothing to shrink).
     violated: bool
+    #: Candidate evaluations answered from the verdict memo instead of
+    #: a replay (ddmin restarts and ``_push_time`` revisit identical
+    #: fault lists; hits spend none of the replay budget).
+    cache_hits: int = 0
 
     def to_dict(self) -> dict:
         return {"schedule": self.schedule.to_dict(),
-                "replays": self.replays, "violated": self.violated}
+                "replays": self.replays, "violated": self.violated,
+                "cache_hits": self.cache_hits}
 
 
 class _Budget:
-    """Replay counter with a hard cap."""
+    """Replay counter with a hard cap and a verdict memo.
+
+    ``violates`` is deterministic per canonical schedule, so a verdict,
+    once paid for, is reused for free: repeat candidates (the ddmin
+    sweep restarts, ``_simplify_windows`` re-proposing a ddmin result,
+    ``_push_time`` landing on an already-tried grid point) neither
+    replay nor spend budget — and stay answerable after exhaustion.
+    """
 
     def __init__(self, violates: Callable[[FaultSchedule], bool],
                  max_replays: int) -> None:
         self._violates = violates
         self.max_replays = max_replays
         self.replays = 0
+        self.cache_hits = 0
+        self._memo: dict = {}
 
     @property
     def exhausted(self) -> bool:
         return self.replays >= self.max_replays
 
     def check(self, schedule: FaultSchedule) -> bool:
+        key = schedule.to_json()
+        if key in self._memo:
+            self.cache_hits += 1
+            return self._memo[key]
         if self.exhausted:
             return False
         self.replays += 1
-        return bool(self._violates(schedule))
+        verdict = bool(self._violates(schedule))
+        self._memo[key] = verdict
+        return verdict
 
 
 def _faults_of(schedule: FaultSchedule) -> List:
@@ -166,7 +186,7 @@ def shrink_schedule(schedule: FaultSchedule,
     budget = _Budget(violates, max_replays)
     if not budget.check(schedule):
         return ShrinkResult(schedule=schedule, replays=budget.replays,
-                            violated=False)
+                            violated=False, cache_hits=budget.cache_hits)
 
     current = _ddmin(schedule, budget)
     current = _simplify_windows(current, budget)
@@ -176,4 +196,4 @@ def shrink_schedule(schedule: FaultSchedule,
         for i in range(len(current.crashes)):
             current = _push_time(current, i, "crash", horizon, budget)
     return ShrinkResult(schedule=current, replays=budget.replays,
-                        violated=True)
+                        violated=True, cache_hits=budget.cache_hits)

@@ -112,8 +112,7 @@ class GeneralSystem:
         self.sw_recovery = SoftwareRecoveryManager(
             active=self.active, shadow=self.shadow, peer=self.peers,
             incarnation=self.incarnation, trace=self.trace)
-        self.sw_recovery.takeover_engine_factory = (
-            lambda shadow: GeneralTakeoverEngine(shadow, peers=self.peer_ids))
+        self.sw_recovery.takeover_engine_factory = self._takeover_engine
         self.sw_recovery.install()
         self.hw_recovery = HardwareRecoveryCoordinator(
             self.process_list(), self.incarnation, self.trace)
@@ -122,6 +121,9 @@ class GeneralSystem:
         self._started = False
 
     # ------------------------------------------------------------------
+    def _takeover_engine(self, shadow):
+        return GeneralTakeoverEngine(shadow, peers=self.peer_ids)
+
     def _build(self, process_id: str, node_name: str, version,
                actions, driver_name: str) -> FtProcess:
         node = Node(NodeId(node_name), self.sim, self.config.clock, self.rng,

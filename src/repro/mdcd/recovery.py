@@ -16,6 +16,7 @@ original (Section 4.2, last paragraph).
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 from ..app.workload import Action
@@ -95,11 +96,18 @@ class SoftwareRecoveryManager:
         self.suppressed = 0
         #: Builds the promoted shadow's post-takeover engine; the
         #: generalized architecture overrides this with a multicast-
-        #: routing variant.
-        self.takeover_engine_factory = (
-            lambda shadow: TakeoverEngine(shadow, peer=self.peer.process_id))
+        #: routing variant.  A bound method (not a closure) so managers
+        #: pickle into warm-start images.
+        self.takeover_engine_factory = self._default_takeover_engine
 
     # ------------------------------------------------------------------
+    def _default_takeover_engine(self, shadow):
+        return TakeoverEngine(shadow, peer=self.peer.process_id)
+
+    def _deferred_recover(self, detected_by, failed_message: Message,
+                          _node) -> None:
+        self.recover(detected_by, failed_message)
+
     @property
     def peer(self):
         """The first peer (the paper's ``P2``) — compatibility accessor
@@ -136,7 +144,8 @@ class SoftwareRecoveryManager:
                                   detected_by.process_id,
                                   node=str(self.shadow.node.node_id))
                 self.shadow.node.on_restart(
-                    lambda _node: self.recover(detected_by, failed_message))
+                    functools.partial(self._deferred_recover, detected_by,
+                                      failed_message))
             return
         self.deferred = False
         self.completed = True

@@ -23,6 +23,14 @@ DEVICE: ProcessId = ProcessId("DEVICE")
 _msg_ids = itertools.count(1)
 
 
+def msg_id_position() -> int:
+    """The next message id the allocator would hand out (peeked without
+    consuming it).  Warm-start images capture this so a resumed run
+    allocates the exact ids the cold run would."""
+    import copy
+    return next(copy.copy(_msg_ids))
+
+
 def reset_msg_ids(start: int = 1) -> None:
     """Restart the global message-id allocator.
 

@@ -45,6 +45,11 @@ class NetworkConfig:
             raise ConfigurationError(f"invalid delay bounds: {self}")
 
 
+def _always_alive() -> bool:
+    """Default endpoint liveness (module-level so endpoints pickle)."""
+    return True
+
+
 @dataclasses.dataclass
 class Endpoint:
     """A registered message consumer.
@@ -64,7 +69,7 @@ class Endpoint:
     process_id: ProcessId
     deliver: Callable[[Message], Optional[bool]]
     on_ack: Optional[Callable[[int], None]] = None
-    is_alive: Callable[[], bool] = lambda: True
+    is_alive: Callable[[], bool] = _always_alive
 
 
 @dataclasses.dataclass

@@ -32,14 +32,16 @@ class SimProcess:
         self.node = node
         self.network = network
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        # Bound methods (not lambdas) so a whole system — endpoints and
+        # node listeners included — pickles into a warm-start image.
         network.register(Endpoint(
             process_id=process_id,
             deliver=self._deliver,
             on_ack=self._ack,
-            is_alive=lambda: not node.crashed,
+            is_alive=self._node_alive,
         ))
-        node.on_crash(lambda _n: self.on_node_crash())
-        node.on_restart(lambda _n: self.on_node_restart())
+        node.on_crash(self._handle_node_crash)
+        node.on_restart(self._handle_node_restart)
 
     # ------------------------------------------------------------------
     @property
@@ -85,6 +87,15 @@ class SimProcess:
         """Called when the hosting node restarts.  Subclasses override."""
 
     # ------------------------------------------------------------------
+    def _node_alive(self) -> bool:
+        return not self.node.crashed
+
+    def _handle_node_crash(self, _node: Node) -> None:
+        self.on_node_crash()
+
+    def _handle_node_restart(self, _node: Node) -> None:
+        self.on_node_restart()
+
     def _deliver(self, message: Message) -> Optional[bool]:
         if self.node.crashed:
             return False

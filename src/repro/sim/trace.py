@@ -73,11 +73,20 @@ class TraceRecorder:
         self._listeners.append(listener)
 
         def unsubscribe() -> None:
-            try:
-                self._listeners.remove(listener)
-            except ValueError:
-                pass
+            self.unsubscribe(listener)
         return unsubscribe
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Detach ``listener`` (a no-op if it is not subscribed).
+
+        Long-lived subscribers (the online auditor) call this with the
+        listener itself rather than holding the closure returned by
+        :meth:`subscribe`, so they stay picklable for warm-start
+        images."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def wants(self, category: str) -> bool:
         """Whether a record in ``category`` would actually be kept —

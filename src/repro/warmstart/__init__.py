@@ -1,0 +1,43 @@
+"""Warm-start execution: full-system images and prefix-resume.
+
+Audit campaigns and shrink searches replay enormous shared prefixes:
+every schedule of one ``(config, seed, overrides)`` prefix is identical
+to the fault-free reference run up to its first armed fault.  This
+package captures the reference *once* as a series of full-system
+images — simulator event heap, RNG stream positions, clocks, timers,
+nodes, stores, processes, trace, armed hooks, the online auditor, and
+the global message-id allocator — and resumes every schedule from the
+newest image strictly before its divergence point.  Resumed runs are
+bit-for-bit identical to cold runs (same findings, same canonical
+trace digests); warm-start is purely a wall-clock optimization.
+
+Entry points: ``run_audit(..., warmstart=True)`` /
+``repro audit --warmstart`` for campaigns, :class:`WarmRunner` for
+custom drivers, and ``repro bench-warmstart`` for the speedup /
+equivalence gate.
+"""
+
+from .engine import (
+    MIN_GROUP,
+    WarmRunner,
+    build_image_set,
+    capture_times,
+    divergence_time,
+    share_schedule_seeds,
+)
+from .image import SystemImage, capture, resume
+from .store import ImageStore, PrefixKey
+
+__all__ = [
+    "MIN_GROUP",
+    "ImageStore",
+    "PrefixKey",
+    "SystemImage",
+    "WarmRunner",
+    "build_image_set",
+    "capture",
+    "capture_times",
+    "divergence_time",
+    "resume",
+    "share_schedule_seeds",
+]

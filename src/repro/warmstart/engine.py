@@ -1,0 +1,321 @@
+"""Prefix-resume execution: run the shared prefix once, fork futures.
+
+Every schedule of an audit campaign (and every candidate of a shrink
+search) is a *divergence* from the fault-free reference run of its
+``(config, system seed, timing overrides)`` prefix: up to the first
+armed fault, the runs are event-for-event identical.  The engine
+exploits that:
+
+1. :func:`build_image_set` runs the reference once, capturing
+   :class:`~repro.warmstart.image.SystemImage` snapshots at planned
+   instants (:func:`capture_times` — a coarse grid plus points just
+   ahead of the reference timeline's sensitive instants, the places
+   boundary schedules pin faults).  Capturing stops at the reference's
+   first own finding — an image past it would bake the finding into
+   every resumed future, which a cold run would have reported earlier.
+2. :meth:`WarmRunner.audit_schedule` computes a schedule's
+   :func:`divergence_time`, thaws the newest image *strictly before*
+   it, arms the schedule's faults on the copy, and runs forward —
+   skipping the shared prefix entirely.  Schedules with no usable
+   image (different prefix, divergence before the first capture, or a
+   singleton group not worth a reference run) fall back to the cold
+   path, so warm execution is always a pure optimization: identical
+   findings, traces, and shrink results, just less wall-clock.
+
+Determinism fine print: fault injectors schedule at ``CONTROL``
+priority, the lowest, so arming them late (at resume time, with higher
+sequence numbers than the cold run's build-time arming) can only
+reorder events against other ``CONTROL`` events at the *exact* same
+float instant — and every resume happens strictly before the first
+fault time.  The bench's digest cross-checks and the golden-trace suite
+assert the bit-for-bit contract on every configuration we ship.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AuditViolation
+from ..sim.rng import derive_seed
+from .image import SystemImage, capture, resume
+from .store import ImageStore, PrefixKey
+
+#: How far ahead of a sensitive instant a pre-point capture lands —
+#: comfortably more than the generator's ``BOUNDARY_EPS`` (0.25), so
+#: "just before" fault times still find an image before them.
+CAPTURE_LEAD = 0.75
+
+#: Minimum spacing between captures; closer candidates are merged.
+MIN_CAPTURE_GAP = 2.0
+
+#: Hard cap on images per prefix (memory ~100 KiB each).
+MAX_IMAGES = 48
+
+#: Build a prefix's image set only when at least this many schedules
+#: will share it (a reference run + captures must amortize).
+MIN_GROUP = 2
+
+
+def divergence_time(schedule) -> float:
+    """When ``schedule`` first departs from its fault-free reference.
+
+    The earliest armed fault instant; ``inf`` for a fault-free schedule
+    (it *is* the reference — any image works).  Seed and timing
+    overrides are part of the prefix key, not of this time: a schedule
+    only ever resumes from images of its own ``(config, seed,
+    overrides)`` prefix.
+    """
+    times = [spec.activate_at for spec in schedule.software]
+    times += [spec.crash_at for spec in schedule.crashes]
+    return min(times) if times else float("inf")
+
+
+def capture_times(config, timeline=None) -> List[float]:
+    """Planned capture instants for one prefix of ``config``.
+
+    A uniform grid (bounding how much any resume must re-simulate)
+    plus a point :data:`CAPTURE_LEAD` ahead of each sensitive instant
+    of the reference ``timeline`` — commits, blocking starts,
+    acceptance-test passes, resynchronizations — since those are
+    exactly where boundary schedules aim their faults.  Thinned to
+    :data:`MIN_CAPTURE_GAP` spacing and capped at :data:`MAX_IMAGES`.
+    """
+    stop = config.horizon - 1.0
+    step = max(config.tb_interval / 2.0, config.horizon / float(MAX_IMAGES))
+    candidates = set()
+    t = step
+    while t < stop:
+        candidates.add(round(t, 6))
+        t += step
+    if timeline is not None:
+        sensitive: List[float] = list(timeline.commit_times())
+        sensitive += [start for start, _end in timeline.blocking]
+        sensitive += list(timeline.at_passes)
+        sensitive += list(timeline.resyncs)
+        for t in sensitive:
+            pre = t - CAPTURE_LEAD
+            if 0.0 < pre < stop:
+                candidates.add(round(pre, 6))
+    times: List[float] = []
+    for t in sorted(candidates):
+        if not times or t - times[-1] >= MIN_CAPTURE_GAP:
+            times.append(t)
+    if len(times) > MAX_IMAGES:
+        stride = len(times) / float(MAX_IMAGES)
+        times = [times[int(i * stride)] for i in range(MAX_IMAGES)]
+    return times
+
+
+def share_schedule_seeds(config, schedules) -> List:
+    """Rewrite every schedule onto one shared system seed.
+
+    Audit campaigns default to a distinct seed per schedule (maximum
+    workload diversity), which makes every schedule its own prefix and
+    leaves nothing for warm-start to share.  A warm campaign trades
+    that diversity for prefix reuse: all schedules run against the
+    system seeded by this one derived value.  Schedules carry their
+    seed, so artifacts and replays stay self-describing.
+    """
+    import dataclasses
+    seed = derive_seed(config.seed, "audit:shared") % (2 ** 31)
+    return [dataclasses.replace(sched, system_seed=seed)
+            for sched in schedules]
+
+
+def build_image_set(config, seed: int,
+                    overrides: Tuple[Tuple[str, float], ...] = (),
+                    times: Optional[List[float]] = None,
+                    timeline=None, codec: str = "pickle"
+                    ) -> List[SystemImage]:
+    """Run one fault-free reference and capture its image set.
+
+    The probe carries the prefix's timing overrides (and the campaign's
+    mutation, planted by ``build_audit_system``) so resumed futures
+    continue the exact system a cold run of any schedule in this prefix
+    would have built.  The attached auditor is captured *inside* each
+    image — with ``fail_fast`` off, so capture can never abort — and
+    capturing stops at the reference's first finding.
+    """
+    from ..audit.auditor import OnlineAuditor
+    from ..audit.campaign import build_audit_system
+    from ..audit.schedule import FaultSchedule
+
+    if times is None:
+        times = capture_times(config, timeline)
+    fingerprint = config.fingerprint()
+    probe = FaultSchedule(label="warmstart-ref", system_seed=seed,
+                          overrides=tuple(sorted(overrides)),
+                          origin="warmstart")
+    system = build_audit_system(config, probe)
+    auditor = OnlineAuditor(system, fail_fast=False,
+                            include_ground_truth=config.include_ground_truth)
+    images: List[SystemImage] = []
+    for t in times:
+        system.run(until=t)
+        if auditor.violated:
+            break
+        images.append(capture(system, auditor, codec=codec, seed=seed,
+                              overrides=probe.overrides,
+                              config_fingerprint=fingerprint))
+    return images
+
+
+class WarmRunner:
+    """Warm-start execution of one campaign's schedules.
+
+    Owns an :class:`ImageStore`, decides per schedule whether a warm
+    resume is available (building reference image sets on demand for
+    prefixes that :meth:`plan` saw enough schedules share), and falls
+    back to the cold path whenever it is not.  ``build_missing=False``
+    makes the runner consume-only — the worker-process mode, where the
+    coordinator pre-built every set into a shared on-disk store.
+    """
+
+    def __init__(self, config, store: Optional[ImageStore] = None,
+                 timeline=None, codec: str = "pickle",
+                 min_group: int = MIN_GROUP,
+                 build_missing: bool = True) -> None:
+        self.config = config
+        self.fingerprint = config.fingerprint()
+        self.store = store if store is not None else ImageStore()
+        self.timeline = timeline
+        self.codec = codec
+        self.min_group = min_group
+        self.build_missing = build_missing
+        self._times: Optional[List[float]] = None
+        self._group_counts: Dict[str, int] = {}
+        self.warm_runs = 0
+        self.cold_runs = 0
+        self.sets_built = 0
+        self.build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _key(self, schedule) -> PrefixKey:
+        return PrefixKey.for_schedule(self.config, schedule)
+
+    def plan(self, schedules) -> None:
+        """Count prefix-group sizes (the build-worthiness signal)."""
+        for sched in schedules:
+            digest = self._key(sched).digest()
+            self._group_counts[digest] = self._group_counts.get(digest, 0) + 1
+
+    def planned_times(self) -> List[float]:
+        """The capture plan (computed once per runner)."""
+        if self._times is None:
+            self._times = capture_times(self.config, self.timeline)
+        return self._times
+
+    def ensure_images(self, schedule, force: bool = False) -> bool:
+        """Make sure the schedule's prefix has an image set.
+
+        Builds one when allowed (``build_missing``) and worth it (the
+        planned group reaches ``min_group``, or ``force`` — the shrink
+        path, which replays one prefix dozens of times).  Returns
+        whether a set exists afterwards.
+        """
+        key = self._key(schedule)
+        if self.store.has(key):
+            return True
+        if not self.build_missing:
+            return False
+        if not force:
+            if self._group_counts.get(key.digest(), 0) < self.min_group:
+                return False
+        begin = time.monotonic()
+        images = build_image_set(
+            self.config, schedule.system_seed,
+            overrides=tuple(sorted(schedule.overrides)),
+            times=self.planned_times(), codec=self.codec)
+        self.build_seconds += time.monotonic() - begin
+        self.sets_built += 1
+        self.store.put(key, images)
+        return True
+
+    def image_for(self, schedule) -> Optional[SystemImage]:
+        """The newest usable image for ``schedule``, if any."""
+        if not self.ensure_images(schedule):
+            return None
+        return self.store.latest_before(self._key(schedule),
+                                        divergence_time(schedule))
+
+    # ------------------------------------------------------------------
+    def audit_schedule(self, schedule, fail_fast: bool = True):
+        """Warm-or-cold audit of one schedule; findings, cold-identical."""
+        return self.traced_audit(schedule, fail_fast=fail_fast)[0]
+
+    def traced_audit(self, schedule, fail_fast: bool = False):
+        """Audit one schedule, returning ``(findings, system)``.
+
+        The system comes back with its full trace — prefix records
+        travel inside the image, so a resumed run's trace is the whole
+        run's trace.  The equivalence bench digests it against a cold
+        run of the same schedule.
+        """
+        from ..audit.auditor import OnlineAuditor
+        from ..audit.campaign import build_audit_system
+        image = self.image_for(schedule)
+        if image is None:
+            self.cold_runs += 1
+            system = build_audit_system(self.config, schedule)
+            auditor = OnlineAuditor(
+                system, fail_fast=fail_fast,
+                include_ground_truth=self.config.include_ground_truth)
+        else:
+            self.warm_runs += 1
+            system, auditor = resume(image, fail_fast=fail_fast)
+            schedule.arm(system)
+        try:
+            system.run()
+        except AuditViolation:
+            pass
+        try:
+            auditor.finalize()
+        except AuditViolation:
+            pass
+        return auditor.findings, system
+
+    def violates(self, schedule) -> bool:
+        """Warm-start drop-in for ``schedule_violates`` (the shrink
+        predicate): crashed replays count as non-violating there too."""
+        try:
+            return bool(self.audit_schedule(schedule, fail_fast=True))
+        except Exception:
+            return False
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for reports and benches."""
+        stats: Dict[str, float] = {
+            "warm_runs": self.warm_runs, "cold_runs": self.cold_runs,
+            "sets_built": self.sets_built,
+            "build_seconds": round(self.build_seconds, 6)}
+        stats.update(self.store.stats())
+        return stats
+
+
+def _run_one_schedule_warm(item) -> Dict:
+    """Worker: warm-audit one ``(config, schedule, store root)`` item.
+
+    The coordinator pre-built every worthwhile image set into the
+    on-disk store at ``root``; workers only consume (``build_missing``
+    off), so a missing set degrades to the cold path instead of
+    duplicating reference runs across the pool.
+    """
+    from ..audit.config import AuditConfig
+    from ..audit.schedule import FaultSchedule
+    config_dict, schedule_dict, root = item
+    config = AuditConfig.from_dict(config_dict)
+    schedule = FaultSchedule.from_dict(schedule_dict)
+    runner = WarmRunner(config, store=ImageStore(root=root),
+                        build_missing=False)
+    try:
+        findings = runner.audit_schedule(schedule, fail_fast=True)
+    except Exception as exc:  # simulation bug — report, don't kill the pool
+        return {"schedule": schedule.to_dict(), "violated": False,
+                "findings": [], "error": f"{type(exc).__name__}: {exc}",
+                "warm": bool(runner.warm_runs)}
+    return {"schedule": schedule.to_dict(),
+            "violated": bool(findings),
+            "findings": [f.to_dict() for f in findings],
+            "error": None,
+            "warm": bool(runner.warm_runs)}

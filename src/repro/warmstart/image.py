@@ -1,0 +1,97 @@
+"""Full-system simulator images: freeze a mid-run system, thaw copies.
+
+A :class:`SystemImage` is a byte-level snapshot of *everything* a run's
+future depends on: the simulator (event heap, sequencer, pending
+cancellations), every RNG stream at its exact position (including the
+batched-uniform buffers), clocks, timers, nodes, stores, processes, the
+trace recorder with its records so far, any already-armed fault
+injectors — and, optionally, the online auditor wired into the trace.
+The one piece of state that lives *outside* the system object graph,
+the global message-id allocator, is captured alongside and restored on
+resume.
+
+The contract (asserted by the warm-start tests and the bench's digest
+cross-checks): ``resume(capture(system))`` followed by running to the
+horizon produces the *bit-for-bit* identical trace, findings, and
+counters as the original system running uninterrupted.  Decoding always
+yields an independent copy, so one image can seed any number of
+divergent futures — the foundation of prefix-resume campaign execution
+(:mod:`repro.warmstart.engine`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple
+
+from ..messages.message import msg_id_position, reset_msg_ids
+from ..snapshot.codec import get_codec
+
+
+@dataclasses.dataclass
+class SystemImage:
+    """One frozen instant of a running system.
+
+    ``seed`` / ``overrides`` / ``config_fingerprint`` describe the
+    *prefix* this image belongs to (which system was run, under which
+    campaign config, with which timing overrides); resuming is only
+    valid for schedules that share all three and whose first divergence
+    from the fault-free reference lies strictly after ``captured_at``.
+    """
+
+    captured_at: float
+    codec_id: str
+    payload: Any
+    nbytes: int
+    seed: int = 0
+    overrides: Tuple[Tuple[str, float], ...] = ()
+    config_fingerprint: str = ""
+
+
+def capture(system, auditor=None, codec: str = "pickle",
+            seed: Optional[int] = None,
+            overrides: Tuple[Tuple[str, float], ...] = (),
+            config_fingerprint: str = "") -> SystemImage:
+    """Freeze ``system`` (and its attached ``auditor``) into an image.
+
+    Must be called between events — i.e. after ``system.run(until=t)``
+    returns, never from inside a callback.  The auditor is pickled in
+    the same pass as the system so the shared references (trace
+    recorder, process list) stay shared on resume.
+    """
+    enc = get_codec(codec)
+    state = {
+        "system": system,
+        "auditor": auditor,
+        "next_msg_id": msg_id_position(),
+    }
+    payload = enc.encode(state)
+    return SystemImage(
+        captured_at=system.sim.now,
+        codec_id=enc.codec_id,
+        payload=payload,
+        nbytes=enc.measure(state, payload),
+        seed=seed if seed is not None else system.config.seed,
+        overrides=tuple(overrides),
+        config_fingerprint=config_fingerprint,
+    )
+
+
+def resume(image: SystemImage, fail_fast: bool = False):
+    """Thaw an independent ``(system, auditor)`` copy from ``image``.
+
+    Restores the global message-id allocator to its captured position
+    (``System.start`` is a no-op on a resumed system, so the reset it
+    normally performs must come from here).  ``fail_fast`` configures
+    the thawed auditor — the captured reference auditor always ran with
+    ``fail_fast=False`` so the capture itself could never abort.
+    ``auditor`` is ``None`` when the image was captured without one.
+    """
+    dec = get_codec(image.codec_id)
+    state = dec.decode(image.payload)
+    system = state["system"]
+    auditor = state["auditor"]
+    reset_msg_ids(state["next_msg_id"])
+    if auditor is not None:
+        auditor.fail_fast = fail_fast
+    return system, auditor

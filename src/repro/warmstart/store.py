@@ -1,0 +1,178 @@
+"""Image stores: keyed, bounded caches of prefix image sets.
+
+A *prefix* is one fault-free reference execution — identified by
+``(campaign-config fingerprint, system seed, timing overrides)`` — and
+its *image set* is the ascending-by-time list of
+:class:`~repro.warmstart.image.SystemImage` captures taken along it.
+The store keeps whole sets as the unit of caching (they are built in
+one reference run and consumed together), with:
+
+* an in-memory layer with LRU eviction bounded by total image bytes,
+  so long campaigns cannot grow without limit;
+* an optional on-disk layer (one file per prefix set, digest-named,
+  atomic-rename writes — the :mod:`repro.parallel.cache` idioms), which
+  is how image sets built in the coordinator reach worker processes.
+
+Lookups are by :meth:`ImageStore.latest_before`: the newest image
+captured *strictly before* a divergence time, the only resume point the
+determinism contract permits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .image import SystemImage
+
+#: Default in-memory budget for cached image sets (bytes of payload).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixKey:
+    """Coordinates of one reference prefix."""
+
+    config_fingerprint: str
+    system_seed: int
+    overrides: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def for_schedule(cls, config, schedule) -> "PrefixKey":
+        """The prefix a schedule's warm resume must come from."""
+        return cls(config_fingerprint=config.fingerprint(),
+                   system_seed=schedule.system_seed,
+                   overrides=tuple(sorted(schedule.overrides)))
+
+    def digest(self) -> str:
+        """Filename-safe digest of the full key."""
+        payload = json.dumps(
+            [self.config_fingerprint, self.system_seed,
+             [[k, v] for k, v in self.overrides]],
+            separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class ImageStore:
+    """Bounded cache of prefix image sets, optionally disk-backed.
+
+    ``root=None`` keeps everything in memory (the serial-campaign
+    mode); with a directory, every ``put`` writes through to disk and
+    ``get`` falls back to disk on a memory miss (the multi-process
+    mode — workers open the same root read-only).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.root = Path(root) if root is not None else None
+        self.max_bytes = max_bytes
+        self._sets: "OrderedDict[str, List[SystemImage]]" = OrderedDict()
+        self._bytes: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: PrefixKey) -> Path:
+        assert self.root is not None
+        return self.root / f"{key.digest()}.imgset"
+
+    def _charge(self, digest: str, images: List[SystemImage]) -> None:
+        self._bytes[digest] = sum(img.nbytes for img in images)
+        while (len(self._sets) > 1
+               and sum(self._bytes.values()) > self.max_bytes):
+            victim, _ = self._sets.popitem(last=False)
+            self._bytes.pop(victim, None)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def put(self, key: PrefixKey, images: List[SystemImage]) -> None:
+        """Cache ``images`` (sorted by capture time) under ``key``."""
+        images = sorted(images, key=lambda img: img.captured_at)
+        digest = key.digest()
+        self._sets[digest] = images
+        self._sets.move_to_end(digest)
+        self._charge(digest, images)
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump({"key": dataclasses.asdict(key),
+                             "images": images}, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+
+    def get(self, key: PrefixKey) -> Optional[List[SystemImage]]:
+        """The image set for ``key``, or ``None`` (unreadable/corrupt
+        disk entries count as absent)."""
+        digest = key.digest()
+        images = self._sets.get(digest)
+        if images is not None:
+            self._sets.move_to_end(digest)
+            self.hits += 1
+            return images
+        if self.root is not None:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    data = pickle.load(fh)
+                images = list(data["images"])
+            except (OSError, pickle.PickleError, KeyError, EOFError):
+                images = None
+            if images is not None:
+                self._sets[digest] = images
+                self._charge(digest, images)
+                self.hits += 1
+                return images
+        self.misses += 1
+        return None
+
+    def has(self, key: PrefixKey) -> bool:
+        """Whether a set exists (without counting a hit/miss)."""
+        if key.digest() in self._sets:
+            return True
+        return self.root is not None and self._path(key).is_file()
+
+    def latest_before(self, key: PrefixKey, t: float
+                      ) -> Optional[SystemImage]:
+        """Newest image captured strictly before ``t``, or ``None``.
+
+        Strictness is the determinism contract: an image captured *at*
+        a fault time may already include events the armed fault must
+        interleave with.
+        """
+        images = self.get(key)
+        if not images:
+            return None
+        times = [img.captured_at for img in images]
+        idx = bisect.bisect_left(times, t) - 1
+        return images[idx] if idx >= 0 else None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports."""
+        return {"sets": len(self._sets),
+                "bytes": sum(self._bytes.values()),
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+    def clear(self) -> int:
+        """Drop every cached set (memory and disk); returns count."""
+        removed = len(self._sets)
+        self._sets.clear()
+        self._bytes.clear()
+        if self.root is not None and self.root.is_dir():
+            for path in self.root.glob("*.imgset"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

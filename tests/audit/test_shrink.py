@@ -114,3 +114,66 @@ class TestTimePushing:
         shrink_schedule(schedule_with(n_software=2, n_crashes=3, windows=True),
                         violates, horizon=1000.0, max_replays=7)
         assert len(calls) <= 7
+
+
+class TestVerdictMemo:
+    def test_repeat_candidates_answered_without_replay(self):
+        from repro.audit.shrink import _Budget
+        calls = []
+
+        def violates(s):
+            calls.append(1)
+            return bool(s.crashes)
+
+        budget = _Budget(violates, max_replays=10)
+        sched = schedule_with(n_crashes=1)
+        assert budget.check(sched)
+        assert budget.check(sched)  # identical candidate: memo answers
+        assert len(calls) == 1
+        assert budget.replays == 1
+        assert budget.cache_hits == 1
+
+    def test_memo_answers_after_budget_exhaustion(self):
+        from repro.audit.shrink import _Budget
+        budget = _Budget(lambda s: True, max_replays=1)
+        known = schedule_with(n_crashes=1)
+        assert budget.check(known)
+        assert budget.exhausted
+        # A fresh candidate is refused (no budget left)...
+        assert not budget.check(schedule_with(n_crashes=2))
+        # ...but the paid-for verdict stays available, and free.
+        assert budget.check(known)
+        assert budget.replays == 1
+        assert budget.cache_hits == 1
+
+    def test_distinct_candidates_are_distinct_keys(self):
+        from repro.audit.shrink import _Budget
+        calls = []
+
+        def violates(s):
+            calls.append(1)
+            return True
+
+        budget = _Budget(violates, max_replays=10)
+        budget.check(schedule_with(n_crashes=1))
+        budget.check(schedule_with(n_crashes=2))
+        assert len(calls) == 2
+        assert budget.cache_hits == 0
+
+    def test_cache_hits_surfaced_in_result(self):
+        result = shrink_schedule(schedule_with(n_crashes=2),
+                                 lambda s: bool(s.crashes), horizon=100.0,
+                                 push_times=False)
+        assert result.cache_hits >= 0
+        assert result.to_dict()["cache_hits"] == result.cache_hits
+
+    def test_replays_count_only_real_evaluations(self):
+        calls = []
+
+        def violates(s):
+            calls.append(1)
+            return bool(s.crashes) and s.crashes[0].crash_at <= 60.0
+
+        result = shrink_schedule(schedule_with(n_crashes=1), violates,
+                                 horizon=100.0, max_replays=100)
+        assert result.replays == len(calls)

@@ -14,7 +14,8 @@ class TestParser:
         parser = build_parser()
         for command in ("scenarios", "fig7", "table1", "overhead",
                         "ablations", "demo", "timeline", "report",
-                        "snapshot-stats", "bench-kernel", "audit"):
+                        "snapshot-stats", "bench-kernel", "bench-warmstart",
+                        "audit"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -38,9 +39,30 @@ class TestParser:
         assert args.scheme == "coordinated"
         assert args.schedules == 120
         assert not args.shrink
+        assert not args.warmstart
         assert args.out is None
         assert args.replay is None
         assert args.mutation is None
+
+    def test_audit_warmstart_flag(self):
+        args = build_parser().parse_args(
+            ["audit", "--scheme", "naive", "--warmstart", "--shrink"])
+        assert args.warmstart
+        assert args.shrink
+
+    def test_bench_warmstart_flags(self):
+        args = build_parser().parse_args(
+            ["bench-warmstart", "--horizon", "450",
+             "--json", "out.json", "--golden", "g.json"])
+        assert args.horizon == 450.0
+        assert args.json == "out.json"
+        assert args.golden == "g.json"
+
+    def test_bench_warmstart_defaults(self):
+        args = build_parser().parse_args(["bench-warmstart"])
+        assert args.horizon is None
+        assert args.json is None
+        assert args.golden is None
 
     def test_audit_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
@@ -235,6 +257,15 @@ class TestExecution:
         artifact = json.loads(out.read_text())
         assert artifact["violations"]
         assert artifact["shrunk"]
+
+    def test_audit_warmstart_finds_violations(self, capsys):
+        assert main(["audit", "--scheme", "naive", "--seed", "7",
+                     "--schedules", "40", "--warmstart",
+                     "--expect-violation"]) == 0
+        out = capsys.readouterr().out
+        assert "warmstart=on" in out
+        assert "warm" in out and "image sets" in out
+        assert "VIOLATION" in out
 
     def test_audit_coordinated_small_campaign_clean(self, capsys):
         assert main(["audit", "--scheme", "coordinated", "--seed", "7",

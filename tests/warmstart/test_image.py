@@ -1,0 +1,131 @@
+"""Capture/resume round-trips: the bit-for-bit contract.
+
+``resume(capture(system))`` then running to the horizon must produce
+exactly the trace an uninterrupted run produces — same canonical
+digest, same findings, same global message-id position — for plain
+and event-pooled kernels alike.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.audit.auditor import OnlineAuditor
+from repro.audit.campaign import build_audit_system
+from repro.audit.config import AuditConfig
+from repro.audit.golden import canonical_trace_lines, trace_digest
+from repro.audit.schedule import FaultSchedule
+from repro.coordination.scheme import build_system
+from repro.errors import AuditViolation
+from repro.messages.message import msg_id_position
+from repro.warmstart import capture, resume
+
+SMALL = AuditConfig(scheme="coordinated", seed=11, schedules=8,
+                    horizon=120.0, tb_interval=20.0)
+
+
+def _schedule(seed: int = 4242) -> FaultSchedule:
+    return FaultSchedule(label="img-test", system_seed=seed, origin="test")
+
+
+def _drain(system, auditor) -> None:
+    try:
+        system.run()
+    except AuditViolation:
+        pass
+    try:
+        auditor.finalize()
+    except AuditViolation:
+        pass
+
+
+def _cold_digest(schedule: FaultSchedule, pooling: bool = False):
+    config = SMALL.system_config(schedule)
+    if pooling:
+        config = dataclasses.replace(config, event_pooling=True)
+    system = build_system(config)
+    system.run()
+    return trace_digest(canonical_trace_lines(system))
+
+
+class TestRoundTrip:
+    def test_resumed_run_is_bitforbit_cold(self):
+        schedule = _schedule()
+        system = build_audit_system(SMALL, schedule)
+        auditor = OnlineAuditor(system, fail_fast=False)
+        system.run(until=60.0)
+        image = capture(system, auditor)
+        thawed, thawed_auditor = resume(image)
+        _drain(thawed, thawed_auditor)
+
+        cold = build_audit_system(SMALL, schedule)
+        cold_auditor = OnlineAuditor(cold, fail_fast=False)
+        _drain(cold, cold_auditor)
+
+        assert trace_digest(canonical_trace_lines(thawed)) == \
+            trace_digest(canonical_trace_lines(cold))
+        assert [f.to_dict() for f in thawed_auditor.findings] == \
+            [f.to_dict() for f in cold_auditor.findings]
+
+    def test_one_image_seeds_many_identical_futures(self):
+        system = build_audit_system(SMALL, _schedule())
+        system.run(until=50.0)
+        image = capture(system)
+        digests = []
+        for _ in range(2):
+            thawed, _auditor = resume(image)
+            assert thawed.sim.now == pytest.approx(image.captured_at)
+            thawed.run()
+            digests.append(trace_digest(canonical_trace_lines(thawed)))
+        assert digests[0] == digests[1]
+        # The donor system is untouched by either thaw.
+        assert system.sim.now == pytest.approx(50.0)
+        system.run()
+        assert trace_digest(canonical_trace_lines(system)) == digests[0]
+
+    def test_capture_without_auditor(self):
+        system = build_audit_system(SMALL, _schedule())
+        system.run(until=40.0)
+        image = capture(system)
+        thawed, auditor = resume(image)
+        assert auditor is None
+        thawed.run()
+        assert trace_digest(canonical_trace_lines(thawed)) == \
+            _cold_digest(_schedule())
+
+    def test_event_pooled_kernel_round_trips(self):
+        schedule = _schedule()
+        config = dataclasses.replace(SMALL.system_config(schedule),
+                                     event_pooling=True)
+        system = build_system(config)
+        system.run(until=60.0)
+        image = capture(system)
+        thawed, _ = resume(image)
+        thawed.run()
+        assert trace_digest(canonical_trace_lines(thawed)) == \
+            _cold_digest(schedule, pooling=True)
+
+    def test_msg_id_allocator_restored(self):
+        system = build_audit_system(SMALL, _schedule())
+        system.run(until=60.0)
+        image = capture(system)
+        at_capture = msg_id_position()
+        system.run()  # the donor advances the global allocator...
+        assert msg_id_position() > at_capture
+        resume(image)
+        # ...and resume winds it back to the captured position.
+        assert msg_id_position() == at_capture
+
+    def test_image_metadata(self):
+        schedule = _schedule()
+        system = build_audit_system(SMALL, schedule)
+        system.run(until=30.0)
+        image = capture(system, seed=schedule.system_seed,
+                        overrides=(("clock_delta", 0.5),),
+                        config_fingerprint=SMALL.fingerprint())
+        assert image.captured_at == pytest.approx(30.0)
+        assert image.codec_id == "pickle"
+        assert image.nbytes > 0
+        assert image.seed == schedule.system_seed
+        assert image.overrides == (("clock_delta", 0.5),)
+        assert image.config_fingerprint == SMALL.fingerprint()

@@ -1,0 +1,112 @@
+"""Image-store tests: keys, LRU bounds, disk layer, lookup strictness."""
+
+from repro.audit.config import AuditConfig
+from repro.audit.schedule import FaultSchedule
+from repro.warmstart import ImageStore, PrefixKey, SystemImage
+
+CONFIG = AuditConfig(scheme="coordinated", seed=11, schedules=8,
+                     horizon=120.0, tb_interval=20.0)
+
+
+def _img(t: float, nbytes: int = 100) -> SystemImage:
+    return SystemImage(captured_at=t, codec_id="pickle",
+                       payload=b"payload", nbytes=nbytes)
+
+
+def _key(seed: int = 1, overrides=()) -> PrefixKey:
+    return PrefixKey(config_fingerprint="abc", system_seed=seed,
+                     overrides=tuple(overrides))
+
+
+class TestPrefixKey:
+    def test_for_schedule_sorts_overrides(self):
+        sched = FaultSchedule(label="k", system_seed=9,
+                              overrides=(("clock_rho", 0.001),
+                                         ("clock_delta", 0.5)),
+                              origin="test")
+        key = PrefixKey.for_schedule(CONFIG, sched)
+        assert key.overrides == (("clock_delta", 0.5), ("clock_rho", 0.001))
+        assert key.system_seed == 9
+        assert key.config_fingerprint == CONFIG.fingerprint()
+
+    def test_digest_distinguishes_every_coordinate(self):
+        base = _key()
+        assert base.digest() == _key().digest()
+        assert base.digest() != _key(seed=2).digest()
+        assert base.digest() != _key(overrides=[("clock_delta", 0.5)]).digest()
+        assert base.digest() != PrefixKey("other", 1).digest()
+
+
+class TestMemoryLayer:
+    def test_put_get_round_trip(self):
+        store = ImageStore()
+        images = [_img(10.0), _img(30.0)]
+        store.put(_key(), images)
+        assert store.get(_key()) == images
+        assert store.get(_key(seed=2)) is None
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+
+    def test_put_sorts_by_capture_time(self):
+        store = ImageStore()
+        store.put(_key(), [_img(30.0), _img(10.0), _img(20.0)])
+        assert [img.captured_at for img in store.get(_key())] == \
+            [10.0, 20.0, 30.0]
+
+    def test_latest_before_is_strict(self):
+        store = ImageStore()
+        store.put(_key(), [_img(10.0), _img(20.0), _img(30.0)])
+        assert store.latest_before(_key(), 25.0).captured_at == 20.0
+        # An image captured exactly at t may already include events the
+        # armed fault must interleave with — strictly before only.
+        assert store.latest_before(_key(), 20.0).captured_at == 10.0
+        assert store.latest_before(_key(), 10.0) is None
+        assert store.latest_before(_key(), 1e9).captured_at == 30.0
+        assert store.latest_before(_key(seed=2), 25.0) is None
+
+    def test_lru_eviction_bounded_by_bytes(self):
+        store = ImageStore(max_bytes=250)
+        store.put(_key(seed=1), [_img(10.0, nbytes=100)])
+        store.put(_key(seed=2), [_img(10.0, nbytes=100)])
+        store.get(_key(seed=1))  # refresh 1: seed-2 becomes the LRU
+        store.put(_key(seed=3), [_img(10.0, nbytes=100)])
+        assert store.get(_key(seed=2)) is None
+        assert store.get(_key(seed=1)) is not None
+        assert store.get(_key(seed=3)) is not None
+        assert store.stats()["evictions"] == 1
+
+    def test_eviction_always_keeps_newest_set(self):
+        store = ImageStore(max_bytes=10)  # smaller than any one set
+        store.put(_key(seed=1), [_img(10.0, nbytes=100)])
+        store.put(_key(seed=2), [_img(10.0, nbytes=100)])
+        assert store.stats()["sets"] == 1
+        assert store.get(_key(seed=2)) is not None
+
+
+class TestDiskLayer:
+    def test_write_through_and_fresh_store_reads_back(self, tmp_path):
+        writer = ImageStore(root=tmp_path)
+        writer.put(_key(), [_img(10.0), _img(20.0)])
+        assert list(tmp_path.glob("*.imgset"))
+        reader = ImageStore(root=tmp_path)
+        images = reader.get(_key())
+        assert [img.captured_at for img in images] == [10.0, 20.0]
+        assert reader.has(_key())
+        assert not reader.has(_key(seed=2))
+
+    def test_corrupt_file_counts_as_absent(self, tmp_path):
+        writer = ImageStore(root=tmp_path)
+        writer.put(_key(), [_img(10.0)])
+        for path in tmp_path.glob("*.imgset"):
+            path.write_bytes(b"not a pickle")
+        reader = ImageStore(root=tmp_path)
+        assert reader.get(_key()) is None
+        assert reader.stats()["misses"] == 1
+
+    def test_clear_drops_memory_and_disk(self, tmp_path):
+        store = ImageStore(root=tmp_path)
+        store.put(_key(seed=1), [_img(10.0)])
+        store.put(_key(seed=2), [_img(10.0)])
+        assert store.clear() >= 2
+        assert not list(tmp_path.glob("*.imgset"))
+        assert ImageStore(root=tmp_path).get(_key(seed=1)) is None
