@@ -352,6 +352,56 @@ def _cmd_demo(args) -> int:
     return 0 if clean and not violations else 1
 
 
+def _cmd_live_demo(args) -> int:
+    from .live.harness import LiveHarness
+
+    harness = LiveHarness(
+        seed=args.seed, tb_interval=args.tb_interval, workdir=args.workdir,
+        deadline=args.deadline,
+        heartbeat={"interval": args.heartbeat, "timeout": args.timeout})
+    summary = harness.run_demo()
+    print(f"Live demo, seed {args.seed}: three OS processes, TCP transport, "
+          f"TB interval {args.tb_interval:.2f}s, heartbeat every "
+          f"{args.heartbeat:.2f}s.\n")
+    takeover = summary.get("takeover") or {}
+    recovery = summary.get("hardware_recovery") or {}
+    print(f"  kill -9 P1_act         : {summary.get('active_killed')}")
+    print(f"  shadow takeover        : decision={takeover.get('decision')} "
+          f"incarnation={takeover.get('incarnation')} "
+          f"suppressed-log-resent={takeover.get('log_suppressed')}")
+    print(f"  peer adopted takeover  : {bool(summary.get('peer_adopted'))}")
+    print(f"  kill -9 P2             : {summary.get('peer_killed')}")
+    print(f"  hardware recovery      : line={recovery.get('line')} "
+          f"boundary={recovery.get('boundary')} "
+          f"incarnation={recovery.get('incarnation')}")
+    print(f"  peer rolled back       : {summary.get('peer_rolled_back')}")
+    print(f"  decisions per process  : {summary.get('decisions')}")
+    print(f"\nartifacts in {harness.workdir} (decision traces, agent logs, "
+          f"demo_summary.json)")
+    ok = bool(summary.get("ok"))
+    print(f"demo {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_live_crosscheck(args) -> int:
+    from .runtime.crosscheck import run_crosscheck
+    from .runtime.script import smoke_script
+
+    script = smoke_script() if args.smoke else None
+    result = run_crosscheck(seed=args.seed, script=script,
+                            workdir=args.workdir)
+    summary = result.summary()
+    print(f"cross-backend check, seed {args.seed}: "
+          f"{summary['ops']} scripted ops "
+          f"({'smoke' if args.smoke else 'standard'} script)")
+    for process, count in sorted(summary["decisions_per_process"].items()):
+        print(f"  {process:8s} {count} decisions")
+    for diff in result.differences:
+        print(f"  DIFF: {diff}")
+    print(f"equivalent: {result.equivalent}")
+    return 0 if result.equivalent else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -454,6 +504,36 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--seed", type=int, default=11)
     timeline.add_argument("--width", type=int, default=100)
     timeline.set_defaults(fn=_cmd_timeline)
+
+    live_demo = sub.add_parser(
+        "live-demo",
+        help="three real OS processes over TCP: kill -9 the active, "
+             "watch the shadow take over, then recover the peer from "
+             "file-backed stable storage")
+    live_demo.add_argument("--seed", type=int, default=0)
+    live_demo.add_argument("--tb-interval", type=float, default=0.8,
+                           help="real-time TB checkpoint interval (s)")
+    live_demo.add_argument("--heartbeat", type=float, default=0.15,
+                           help="heartbeat period (s)")
+    live_demo.add_argument("--timeout", type=float, default=0.75,
+                           help="failure-detector timeout (s)")
+    live_demo.add_argument("--deadline", type=float, default=90.0,
+                           help="abort (and kill all agents) after this long")
+    live_demo.add_argument("--workdir", default=None,
+                           help="artifact directory (default: a fresh tempdir)")
+    live_demo.set_defaults(fn=_cmd_live_demo)
+
+    live_cross = sub.add_parser(
+        "live-crosscheck",
+        help="run the scripted workload on the discrete-event backend "
+             "and on real processes; diff the decision traces")
+    live_cross.add_argument("--seed", type=int, default=0)
+    live_cross.add_argument("--smoke", action="store_true",
+                            help="short crash-free script instead of the "
+                                 "standard crash+recovery script")
+    live_cross.add_argument("--workdir", default=None,
+                            help="live artifact directory (default: tempdir)")
+    live_cross.set_defaults(fn=_cmd_live_crosscheck)
 
     demo = sub.add_parser("demo", help="one narrated coordinated run")
     demo.add_argument("--seed", type=int, default=5)

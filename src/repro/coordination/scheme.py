@@ -49,12 +49,8 @@ from ..mdcd.original import (
     OriginalShadowEngine,
 )
 from ..mdcd.recovery import SoftwareRecoveryManager
-from ..sim.clock import ClockConfig
-from ..sim.kernel import Simulator
-from ..sim.network import Network, NetworkConfig
-from ..sim.node import Node
-from ..sim.rng import RngRegistry
-from ..sim.trace import TraceRecorder
+from ..runtime import (ClockConfig, Network, NetworkConfig, Node, RngRegistry,
+                       Simulator, TraceRecorder)
 from ..tb.adapted import AdaptedTbEngine
 from ..tb.blocking import TbConfig
 from ..tb.hardware_recovery import HardwareRecoveryCoordinator

@@ -35,7 +35,9 @@ the horizon anyway.
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -319,8 +321,69 @@ def format_record(record: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def trajectory_entry(record: Dict[str, Any],
+                     recorded_at: Optional[str] = None) -> Dict[str, Any]:
+    """The compact per-run summary kept in the trajectory: enough to
+    plot the speedup over time, small enough to accumulate forever."""
+    campaign = record.get("campaign", {})
+    shrink = record.get("shrink", {})
+    if recorded_at is None:
+        recorded_at = datetime.datetime.now(datetime.timezone.utc) \
+            .strftime("%Y-%m-%dT%H:%M:%SZ")
+    return {
+        "recorded_at": recorded_at,
+        "python": record.get("python"),
+        "fingerprint": record.get("fingerprint"),
+        "campaign_speedup": campaign.get("speedup"),
+        "shrink_speedup": shrink.get("speedup"),
+        "campaign_cold_seconds": campaign.get("cold_seconds"),
+        "campaign_warm_seconds": campaign.get("warm_seconds"),
+        "equivalent": record.get("equivalent"),
+    }
+
+
 def write_record(record: Dict[str, Any], path: str) -> None:
-    """Write the record as pretty JSON (the CI artifact / committed
-    ``BENCH_warmstart.json``)."""
+    """Append ``record`` to the perf trajectory at ``path``.
+
+    The file holds ``{"bench", "latest", "trajectory"}``: the full most
+    recent record plus one compact :func:`trajectory_entry` per run, so
+    ``BENCH_warmstart.json`` accumulates a speedup history instead of
+    forgetting every run but the last.  A legacy single-record file is
+    migrated in place (its record becomes the first trajectory entry,
+    stamped with the file's mtime).
+    """
+    document: Dict[str, Any] = {"bench": "warmstart", "latest": record,
+                                "trajectory": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except ValueError:
+            existing = None
+        if isinstance(existing, dict):
+            if isinstance(existing.get("trajectory"), list):
+                document["trajectory"] = list(existing["trajectory"])
+            elif "campaign" in existing:  # legacy bare record
+                mtime = datetime.datetime.fromtimestamp(
+                    os.path.getmtime(path), datetime.timezone.utc)
+                document["trajectory"] = [trajectory_entry(
+                    existing, recorded_at=mtime.strftime("%Y-%m-%dT%H:%M:%SZ"))]
+    document["trajectory"].append(trajectory_entry(record))
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def read_latest(path: str) -> Optional[Dict[str, Any]]:
+    """The most recent full record at ``path`` (handles both the
+    trajectory document and a legacy bare record); ``None`` if absent
+    or unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(existing, dict):
+        return None
+    if "latest" in existing:
+        return existing["latest"]
+    return existing if "campaign" in existing else None

@@ -30,12 +30,9 @@ from .messages.log import MessageLog
 from .messages.message import DEVICE, Message, passed_at_notification
 from .messages.sequence import AckTracker, ReceiveDeduplicator, SequenceAllocator
 from .mdcd.state import MdcdState
-from .sim.monitor import CounterSet
+from .runtime import CounterSet, SimProcess, TraceRecorder
+from .runtime.ports import CrashPort, TransportPort
 from .snapshot.sections import SnapshotEncoder
-from .sim.network import Network
-from .sim.node import Node
-from .sim.process import SimProcess
-from .sim.trace import TraceRecorder
 from .types import CheckpointKind, MessageKind, ProcessId, Role, StableContent
 
 
@@ -101,7 +98,7 @@ class FtProcess(SimProcess):
         The shared :class:`IncarnationCounter`.
     """
 
-    def __init__(self, process_id: ProcessId, node: Node, network: Network,
+    def __init__(self, process_id: ProcessId, node: CrashPort, network: TransportPort,
                  component: ApplicationComponent, driver: WorkloadDriver,
                  incarnation: IncarnationCounter,
                  role: Optional[Role] = None,

@@ -1,0 +1,35 @@
+"""Real-process backend for the protocol runtime.
+
+``repro.live`` implements the :mod:`repro.runtime` ports from operating
+system primitives — wall clocks, TCP sockets, files, processes — so the
+paper's coordination protocols run under actual concurrency:
+
+* :mod:`~repro.live.clock` — wall-clock :class:`ClockSource`;
+* :mod:`~repro.live.loop` — single-threaded scheduler + I/O loop;
+* :mod:`~repro.live.storage` — fsync'd file-backed :class:`StablePort`;
+* :mod:`~repro.live.node` — per-process :class:`CrashPort` facade;
+* :mod:`~repro.live.transport` — framed, checksummed, ack'd-with-retry
+  TCP :class:`TransportPort`;
+* :mod:`~repro.live.failover` — heartbeat-driven shadow takeover;
+* :mod:`~repro.live.agent` — one protocol process per OS process;
+* :mod:`~repro.live.harness` — topology launcher, ``kill -9``
+  injection, scripted runs, decision-trace collection.
+
+The protocol layer (``host``, ``mdcd``, ``tb``) runs **unmodified** on
+these adapters — that is the point: the same code verified against the
+discrete-event oracle serves real traffic.
+"""
+
+from .clock import WallClock
+from .loop import LiveScheduler
+from .node import LiveNode
+from .storage import FileStableStore
+from .transport import LiveTransport
+
+__all__ = [
+    "FileStableStore",
+    "LiveNode",
+    "LiveScheduler",
+    "LiveTransport",
+    "WallClock",
+]

@@ -1,0 +1,56 @@
+"""Wall-clock :class:`~repro.runtime.ports.ClockSource`.
+
+The live backend's "true time" is the OS monotonic clock, rebased so a
+run starts near zero (like a simulation).  Local time and true time
+coincide — a single host has no inter-node skew — so the mapping is the
+identity and resynchronization only resets the drift-elapsed marker.
+The TB blocking formula then degenerates to ``delta`` plus the write
+latency, which is exactly right for co-located processes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+
+class WallClock:
+    """Identity local clock over ``time.monotonic()``."""
+
+    def __init__(self, origin: Optional[float] = None) -> None:
+        self._origin = time.monotonic() if origin is None else origin
+        self._last_resync = self._read()
+        self._resync_listeners: List[Callable[["WallClock"], None]] = []
+
+    def _read(self) -> float:
+        return time.monotonic() - self._origin
+
+    # ------------------------------------------------------------------
+    @property
+    def drift(self) -> float:
+        """Wall clocks are their own reference: no modelled drift."""
+        return 0.0
+
+    def now(self) -> float:
+        """Current reading (local == true on a single host)."""
+        return self._read()
+
+    def read(self, true_time: float) -> float:
+        return true_time
+
+    def true_time_of(self, local_time: float) -> float:
+        return local_time
+
+    def elapsed_since_resync(self) -> float:
+        return self._read() - self._last_resync
+
+    def resync(self, reference_local: Optional[float] = None) -> float:
+        """Reset the drift-elapsed marker; the identity anchoring cannot
+        move.  Listeners (timer services) are notified as on any clock."""
+        self._last_resync = self._read()
+        for listener in list(self._resync_listeners):
+            listener(self)
+        return self._read()
+
+    def on_resync(self, listener: Callable[["WallClock"], None]) -> None:
+        self._resync_listeners.append(listener)

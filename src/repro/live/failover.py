@@ -1,0 +1,133 @@
+"""Heartbeat-driven shadow takeover for the live backend.
+
+The sim's :class:`~repro.mdcd.recovery.SoftwareRecoveryManager` runs the
+whole takeover in one place because it holds references to every
+process.  On the live backend the same algorithm executes
+*distributedly*, which is how the paper means it: each process makes its
+**local** decision (dirty -> roll back to the volatile checkpoint, clean
+-> roll forward) with no coordination — the MDCD theorems are exactly
+the license to do that.
+
+* The **shadow**'s failure detector (heartbeat timeout on the active)
+  triggers :func:`shadow_takeover`: bump the incarnation, local
+  decision, re-send the suppressed log beyond ``VR``, switch to the
+  :class:`~repro.mdcd.recovery.TakeoverEngine`, re-send unacknowledged
+  messages, end guarded operation, and broadcast a ``takeover`` control
+  frame.
+* Each **peer** receiving the broadcast runs :func:`peer_adopt_takeover`:
+  adopt the new incarnation, local decision, stop addressing the
+  deposed active, end guarded operation, re-send unacknowledged
+  messages through surviving routes.
+
+Both halves are line-for-line ports of the manager's per-process
+slices, so the decisions they trace are the ones the sim oracle
+predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import RecoveryError
+from ..host import FtProcess
+from ..mdcd.recovery import TakeoverEngine
+from ..types import MessageKind, ProcessId, RecoveryAction
+
+
+def _local_decision(process: FtProcess) -> RecoveryAction:
+    """The paper's local rule (SoftwareRecoveryManager._local_decision,
+    minus the crashed-survivor case — a dead live process simply never
+    runs this)."""
+    if process.mdcd.dirty_bit == 1:
+        checkpoint = process.volatile_checkpoint()
+        if checkpoint is None:
+            checkpoint = process.node.stable.peek(process.process_id)
+            process.counters.bump("recovery.degraded_fallback")
+            process.trace.record(process.sim.now, "recovery.degraded_fallback",
+                                 process.process_id)
+        if checkpoint is None:
+            raise RecoveryError(
+                f"{process.process_id} is dirty but has no checkpoint to roll back to")
+        process.restore_from(checkpoint, "software")
+        return RecoveryAction.ROLLBACK
+    process.roll_forward("software")
+    return RecoveryAction.ROLL_FORWARD
+
+
+def _resend_unacknowledged(process: FtProcess, deposed: ProcessId) -> int:
+    """Re-send this process's unacknowledged messages under the new
+    incarnation, writing off those addressed to the deposed active."""
+    resent = 0
+    for message in process.acks.unacknowledged():
+        if message.receiver == deposed:
+            process.acks.acked(message.msg_id)
+            continue
+        process.resend(message)
+        resent += 1
+    return resent
+
+
+def shadow_takeover(shadow: FtProcess, active_id: ProcessId,
+                    peer_id: ProcessId, incarnation,
+                    reason: str = "heartbeat-timeout") -> Dict[str, object]:
+    """Promote the shadow after its failure detector condemns the
+    active.  Returns a summary for the harness/decision artifact."""
+    trace = shadow.trace
+    trace.record(shadow.sim.now, "recovery.software.start",
+                 shadow.process_id, failed=reason)
+    incarnation.bump()
+    decision = _local_decision(shadow)
+    # Promote: transmit the suppressed, never-validated tail of the
+    # message log (born valid — the shadow's state is clean after its
+    # local decision), then switch engines and leave guarded mode.
+    vr = shadow.mdcd.vr
+    to_resend = shadow.msg_log.entries_after(vr)
+    suppressed = shadow.msg_log.reclaim_up_to(vr) if vr is not None else 0
+    for entry in to_resend:
+        message = entry.message
+        if message.kind is MessageKind.EXTERNAL:
+            shadow.send_external(message.payload, validated=True)
+        else:
+            shadow.send_internal(message.payload, entry.destinations(),
+                                 sn=message.sn, dirty_bit=0, validated=True,
+                                 ndc=shadow.current_ndc())
+    shadow.msg_log.clear()
+    shadow.software = TakeoverEngine(shadow, peer=peer_id)
+    shadow.mdcd.guarded = False
+    shadow.driver.resume()
+    resent = _resend_unacknowledged(shadow, active_id)
+    trace.record(shadow.sim.now, "recovery.software.done", shadow.process_id,
+                 decisions={str(shadow.process_id): decision.value},
+                 resent=len(to_resend) + resent, suppressed=suppressed)
+    return {
+        "decision": decision.value,
+        "incarnation": incarnation.value,
+        "log_resent": len(to_resend),
+        "log_suppressed": suppressed,
+        "unacked_resent": resent,
+        "reason": reason,
+    }
+
+
+def peer_adopt_takeover(peer: FtProcess, active_id: ProcessId,
+                        incarnation, new_incarnation: int) -> Optional[Dict[str, object]]:
+    """Apply a takeover broadcast at a surviving peer.  Idempotent: a
+    duplicate or stale broadcast is ignored."""
+    if incarnation.value >= new_incarnation:
+        return None
+    incarnation.value = new_incarnation
+    decision = _local_decision(peer)
+    engine = peer.software
+    recipients = getattr(engine, "component1_recipients", None)
+    if recipients is not None:
+        engine.component1_recipients = [
+            pid for pid in recipients if pid != active_id]
+    peer.mdcd.guarded = False
+    resent = _resend_unacknowledged(peer, active_id)
+    peer.trace.record(peer.sim.now, "recovery.takeover.adopted",
+                      peer.process_id, incarnation=new_incarnation)
+    return {
+        "decision": decision.value,
+        "incarnation": new_incarnation,
+        "unacked_resent": resent,
+    }

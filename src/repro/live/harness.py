@@ -1,0 +1,442 @@
+"""Multi-process orchestration for the live backend.
+
+The harness launches one :mod:`repro.live.agent` OS process per
+protocol role (``P1_act``/``P1_sdw``/``P2``), wires them to each other
+over localhost TCP, and drives them through their stdin/stdout control
+channels.  It plays two parts:
+
+* **Oracle runs** (:meth:`LiveHarness.run_script`): execute a
+  :class:`~repro.runtime.script.WorkloadScript` under the same
+  barrier discipline as :class:`~repro.runtime.sim_backend.SimBackend`
+  — apply an op, quiesce the whole system, repeat — including real
+  ``kill -9`` crash injection and the coordinated hardware recovery
+  (the harness orchestrates across agents the exact phases
+  :class:`~repro.tb.hardware_recovery.HardwareRecoveryCoordinator`
+  runs in one address space).  Returns per-process decision traces in
+  the shape :func:`~repro.runtime.decisions.decisions_from_trace`
+  produces, so the two backends diff directly.
+* **Failure demos** (:meth:`LiveHarness.run_demo`): heartbeats on,
+  short real TB intervals, scripted ``kill -9`` of the *active*;
+  asserts the shadow takes over on its own failure detector, then
+  kills and recovers the peer from its file-backed stable storage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from ..types import Role
+
+#: Role application/recovery order — matches SimBackend._apply.
+ROLE_ORDER = (Role.ACTIVE_1, Role.SHADOW_1, Role.PEER_2)
+
+#: The scheme's node names (scripts name nodes, agents are per-role).
+NODE_ROLES = {"N1a": Role.ACTIVE_1, "N1b": Role.SHADOW_1, "N2": Role.PEER_2}
+
+
+class HarnessError(ReproError):
+    """A live agent failed to start, respond, or quiesce in time."""
+
+
+def _free_port() -> int:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+class AgentHandle:
+    """One spawned agent process and its control channel."""
+
+    def __init__(self, role: Role, spec: Dict[str, Any], log_path: str) -> None:
+        self.role = role
+        self.spec = spec
+        self.log = open(log_path, "ab")
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.live.agent", json.dumps(spec)],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=self.log,
+            env=env)
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+    def _read_line(self, timeout: float) -> Dict[str, Any]:
+        fd = self.proc.stdout.fileno()
+        deadline = time.monotonic() + timeout
+        while b"\n" not in self._buffer:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise HarnessError(
+                    f"{self.role.value}: no response within {timeout:.1f}s")
+            ready, _, _ = select.select([fd], [], [], remaining)
+            if not ready:
+                continue
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                raise HarnessError(
+                    f"{self.role.value}: agent exited unexpectedly "
+                    f"(code {self.proc.poll()})")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return json.loads(line.decode("utf-8"))
+
+    def wait_ready(self, timeout: float = 15.0) -> Dict[str, Any]:
+        ready = self._read_line(timeout)
+        if ready.get("event") != "ready":
+            raise HarnessError(f"{self.role.value}: unexpected boot line {ready}")
+        return ready
+
+    def request(self, command: Dict[str, Any],
+                timeout: float = 15.0) -> Dict[str, Any]:
+        data = json.dumps(command) + "\n"
+        try:
+            self.proc.stdin.write(data.encode("utf-8"))
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise HarnessError(f"{self.role.value}: control channel closed "
+                               f"({exc})") from exc
+        response = self._read_line(timeout)
+        if not response.get("ok", False):
+            raise HarnessError(
+                f"{self.role.value}: {command.get('cmd')} failed: "
+                f"{response.get('error')}")
+        return response
+
+    # ------------------------------------------------------------------
+    def kill9(self) -> int:
+        """The fault model: SIGKILL, no cleanup, no goodbye."""
+        self.proc.send_signal(signal.SIGKILL)
+        code = self.proc.wait()
+        self._close_pipes()
+        return code
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        try:
+            self.request({"cmd": "shutdown"}, timeout=timeout)
+            self.proc.wait(timeout=timeout)
+        except (HarnessError, subprocess.TimeoutExpired):
+            self.proc.kill()
+            self.proc.wait()
+        self._close_pipes()
+
+    def reap(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        for pipe in (self.proc.stdin, self.proc.stdout):
+            try:
+                pipe.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            self.log.close()
+        except OSError:
+            pass
+
+
+class LiveHarness:
+    """Launch, drive, crash, and recover a live P1_act/P1_sdw/P2 system."""
+
+    name = "live"
+
+    def __init__(self, seed: int = 0, tb_interval: float = 10_000.0,
+                 workdir: Optional[str] = None,
+                 heartbeat: Optional[Dict[str, float]] = None,
+                 deadline: float = 120.0, horizon: float = 1_000.0,
+                 quiesce_horizon: float = 2.0) -> None:
+        self.seed = seed
+        self.tb_interval = tb_interval
+        self.heartbeat = heartbeat
+        self.deadline = deadline
+        self.horizon = horizon
+        self.quiesce_horizon = quiesce_horizon
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-live-")
+        self._owns_workdir = workdir is None
+        os.makedirs(self.workdir, exist_ok=True)
+        #: One shared CLOCK_MONOTONIC origin: agents (including
+        #: restarted ones) agree on local time the way the sim's
+        #: roughly-synchronized clocks do.
+        self.clock_origin = time.monotonic()
+        self.ports = {role: _free_port() for role in ROLE_ORDER}
+        self.agents: Dict[Role, AgentHandle] = {}
+        self.deposed: List[str] = []
+        self._deadline_at = 0.0
+
+    # ------------------------------------------------------------------
+    # specs and lifecycle
+    # ------------------------------------------------------------------
+    def _trace_path(self, role: Role) -> str:
+        return os.path.join(self.workdir, f"decisions_{role.value}.jsonl")
+
+    def _spec(self, role: Role, incarnation: int = 0) -> Dict[str, Any]:
+        heartbeat = None
+        if self.heartbeat is not None:
+            heartbeat = dict(self.heartbeat)
+            if role is Role.SHADOW_1:
+                heartbeat.setdefault("watch", Role.ACTIVE_1.value)
+        return {
+            "role": role.value,
+            "seed": self.seed,
+            "host": "127.0.0.1",
+            "port": self.ports[role],
+            "peers": {other.value: ["127.0.0.1", self.ports[other]]
+                      for other in ROLE_ORDER if other is not role},
+            "data_dir": os.path.join(self.workdir, f"stable_{role.value}"),
+            "trace_path": self._trace_path(role),
+            "tb_interval": self.tb_interval,
+            "horizon": self.horizon,
+            "clock_origin": self.clock_origin,
+            "heartbeat": heartbeat,
+            "incarnation": incarnation,
+            "deposed": list(self.deposed),
+        }
+
+    def _spawn(self, role: Role, incarnation: int = 0) -> AgentHandle:
+        agent = AgentHandle(role, self._spec(role, incarnation),
+                            os.path.join(self.workdir,
+                                         f"agent_{role.value}.log"))
+        agent.wait_ready(timeout=self._budget(15.0))
+        self.agents[role] = agent
+        return agent
+
+    def _budget(self, cap: float) -> float:
+        remaining = self._deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise HarnessError("harness deadline exceeded")
+        return min(cap, remaining)
+
+    def _in_service(self) -> List[AgentHandle]:
+        return [self.agents[role] for role in ROLE_ORDER
+                if role in self.agents]
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def quiesce_all(self, horizon: Optional[float] = None) -> None:
+        """Block until every in-service agent is idle twice in a row
+        (no unreceipted frames, no due protocol events)."""
+        horizon = self.quiesce_horizon if horizon is None else horizon
+        consecutive = 0
+        while consecutive < 2:
+            self._budget(1.0)
+            idle = all(
+                agent.request({"cmd": "quiesce", "horizon": horizon},
+                              timeout=self._budget(15.0))["idle"]
+                for agent in self._in_service())
+            consecutive = consecutive + 1 if idle else 0
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # scripted oracle runs
+    # ------------------------------------------------------------------
+    def run_script(self, script) -> Dict[str, List[Dict[str, Any]]]:
+        """Execute ``script`` on real processes; return decision traces."""
+        self._deadline_at = time.monotonic() + self.deadline
+        try:
+            for role in ROLE_ORDER:
+                self._spawn(role)
+            for agent in self._in_service():
+                agent.request({"cmd": "start", "release": True},
+                              timeout=self._budget(15.0))
+            self.quiesce_all()
+            for sequence, op in script.numbered():
+                self._apply(op, sequence)
+                self.quiesce_all()
+            for agent in self._in_service():
+                agent.shutdown(timeout=self._budget(10.0))
+            return self.collect_decisions()
+        finally:
+            self._reap_all()
+
+    def _apply(self, op, sequence: int) -> None:
+        if op.op == "settle":
+            return
+        if op.op == "tb-round":
+            for agent in self._in_service():
+                agent.request({"cmd": "tb-round"}, timeout=self._budget(15.0))
+            return
+        if op.op == "crash":
+            role = NODE_ROLES[op.target]
+            agent = self.agents.pop(role)
+            agent.kill9()
+            return
+        if op.op == "restart":
+            self.recover_node(NODE_ROLES[op.target])
+            return
+        for role in op.roles():
+            if role in self.agents:
+                self.agents[role].request(
+                    {"cmd": "op", "op": op.op, "index": sequence,
+                     "stimulus": op.stimulus}, timeout=self._budget(15.0))
+
+    # ------------------------------------------------------------------
+    # coordinated hardware recovery (HardwareRecoveryCoordinator's
+    # phases, orchestrated across address spaces)
+    # ------------------------------------------------------------------
+    def recover_node(self, role: Role) -> Dict[str, Any]:
+        # The restarted agent comes up *held*: it receipts traffic but
+        # dispatches nothing until recovery has restored its state and
+        # fenced the old incarnation.
+        current = max((agent.request({"cmd": "status"},
+                                     timeout=self._budget(15.0))["incarnation"]
+                       for agent in self._in_service()), default=0)
+        restarted = self._spawn(role, incarnation=current)
+        restarted.request({"cmd": "start", "release": False},
+                          timeout=self._budget(15.0))
+        latest = [agent.request({"cmd": "hw-latest"},
+                                timeout=self._budget(15.0))
+                  for agent in self._in_service()]
+        epochs = [entry["epoch"] for entry in latest]
+        if any(epoch is None for epoch in epochs):
+            raise HarnessError("a process has no stable checkpoint (no genesis?)")
+        line = min(epochs)
+        boundaries = [entry["boundary"] for entry in latest
+                      if entry["boundary"] is not None]
+        boundary = max(boundaries) if boundaries else None
+        incarnation = current + 1
+        for agent in self._in_service():
+            agent.request({"cmd": "hw-recover", "line": line,
+                           "boundary": boundary, "incarnation": incarnation},
+                          timeout=self._budget(15.0))
+        for agent in self._in_service():
+            agent.request({"cmd": "hw-resend", "deposed": list(self.deposed)},
+                          timeout=self._budget(15.0))
+        restarted.request({"cmd": "release"}, timeout=self._budget(15.0))
+        return {"line": line, "boundary": boundary, "incarnation": incarnation}
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def collect_decisions(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Read back the per-process decision JSONL artifacts (same
+        shape as ``decisions_from_trace``: only processes that decided
+        something appear)."""
+        decisions: Dict[str, List[Dict[str, Any]]] = {}
+        for role in ROLE_ORDER:
+            path = self._trace_path(role)
+            if not os.path.exists(path):
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                records = [json.loads(line) for line in handle
+                           if line.strip()]
+            if records:
+                decisions[role.value] = records
+        return decisions
+
+    def cleanup(self) -> None:
+        """Remove the working directory (only if the harness made it)."""
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def _reap_all(self) -> None:
+        for agent in self.agents.values():
+            agent.reap()
+        self.agents.clear()
+
+    # ------------------------------------------------------------------
+    # live failure demo
+    # ------------------------------------------------------------------
+    def run_demo(self) -> Dict[str, Any]:
+        """Heartbeat failover end to end, on real processes.
+
+        ``kill -9`` the active mid-run; the shadow's own failure
+        detector must promote it (no harness involvement).  Then
+        ``kill -9`` the peer and run the coordinated hardware recovery
+        from file-backed stable storage.  Returns a summary dict; the
+        decision artifacts stay in ``workdir``.
+        """
+        if self.heartbeat is None:
+            self.heartbeat = {"interval": 0.15, "timeout": 0.75}
+        self._deadline_at = time.monotonic() + self.deadline
+        summary: Dict[str, Any] = {"seed": self.seed,
+                                   "tb_interval": self.tb_interval,
+                                   "workdir": self.workdir}
+        try:
+            for role in ROLE_ORDER:
+                self._spawn(role)
+            for agent in self._in_service():
+                agent.request({"cmd": "start", "release": True},
+                              timeout=self._budget(15.0))
+            self._demo_op("internal", 0, 41)
+            self._demo_op("external", 1, 42)
+            # Let at least two periodic TB boundaries pass for real.
+            time.sleep(2.2 * self.tb_interval)
+            self.quiesce_all(horizon=0.0)
+
+            active = self.agents.pop(Role.ACTIVE_1)
+            summary["active_killed"] = active.kill9() == -signal.SIGKILL
+            self.deposed = [Role.ACTIVE_1.value]
+            summary["takeover"] = self._await_takeover(Role.SHADOW_1)
+            summary["peer_adopted"] = self._await_takeover(Role.PEER_2)
+
+            self._demo_op("internal", 2, 43)
+            self._demo_op("external", 3, 44)
+            self.quiesce_all(horizon=0.0)
+
+            peer = self.agents.pop(Role.PEER_2)
+            summary["peer_killed"] = peer.kill9() == -signal.SIGKILL
+            time.sleep(0.2)
+            summary["hardware_recovery"] = self.recover_node(Role.PEER_2)
+            self._demo_op("internal", 4, 45)
+            self.quiesce_all(horizon=0.0)
+
+            for agent in self._in_service():
+                agent.shutdown(timeout=self._budget(10.0))
+            decisions = self.collect_decisions()
+            summary["decisions"] = {pid: len(seq)
+                                    for pid, seq in decisions.items()}
+            shadow = decisions.get(Role.SHADOW_1.value, [])
+            peer_seq = decisions.get(Role.PEER_2.value, [])
+            summary["shadow_recovered"] = any(
+                entry["event"].startswith("recovery.") for entry in shadow)
+            summary["peer_rolled_back"] = any(
+                entry["event"] == "recovery.rollback.hardware"
+                for entry in peer_seq)
+            summary["ok"] = bool(
+                summary["active_killed"] and summary["takeover"]
+                and summary["peer_killed"] and summary["shadow_recovered"]
+                and summary["peer_rolled_back"])
+            with open(os.path.join(self.workdir, "demo_summary.json"), "w",
+                      encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+            return summary
+        finally:
+            self._reap_all()
+
+    def _demo_op(self, op: str, sequence: int, stimulus: int) -> None:
+        """Apply a component-1 op to whichever replica is in service."""
+        for role in (Role.ACTIVE_1, Role.SHADOW_1):
+            if role in self.agents:
+                self.agents[role].request(
+                    {"cmd": "op", "op": op, "index": sequence,
+                     "stimulus": stimulus}, timeout=self._budget(15.0))
+        self.quiesce_all(horizon=0.0)
+
+    def _await_takeover(self, role: Role) -> Optional[Dict[str, Any]]:
+        """Poll ``role``'s status until its takeover summary appears."""
+        while True:
+            self._budget(1.0)
+            status = self.agents[role].request({"cmd": "status"},
+                                               timeout=self._budget(15.0))
+            if status.get("takeover"):
+                return status["takeover"]
+            time.sleep(0.1)

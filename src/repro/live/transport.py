@@ -1,0 +1,381 @@
+"""TCP transport — the live :class:`~repro.runtime.ports.TransportPort`.
+
+One agent process owns one listening socket (inbound) and one outbound
+connection per peer.  All frames ride the wire format of
+:mod:`repro.runtime.wire` (length prefix, canonical JSON, per-frame
+sha256).  Reliability is layered exactly like the simulated network the
+protocols were verified against:
+
+* **Transport receipts** (this module): every ``msg``/``ack``/``ctl``
+  frame carries a ``(session, seq)`` tag; the receiver returns a
+  receipt and deduplicates retransmissions.  Unreceipted frames are
+  retransmitted with exponential backoff, forever — messages to a dead
+  peer stay pending, like the sim's never-acknowledged drops, until the
+  recovery layer clears them.
+* **Protocol acknowledgements** (the paper's): a delivered application
+  message is protocol-acked only when the endpoint *reads* it — the
+  ``deliver``-returns-``False``-suppresses-ack contract of
+  :class:`~repro.sim.network.Network`, reproduced verbatim so deferred
+  acks and TB buffering behave identically.
+
+The transport is single-threaded: inbound sockets are driven by the
+agent's selector loop, outbound writes are short blocking sends (small
+frames, localhost), and retransmit timers live on the shared scheduler
+under the ``_infra`` label so the quiesce probe ignores them.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..messages.message import DEVICE, Message
+from ..runtime import Endpoint, EventPriority, FrameReader, WireIntegrityError
+from ..runtime.wire import encode_frame, message_from_dict, message_to_dict
+from ..types import MessageKind, ProcessId
+
+#: Retransmission backoff: first retry, growth factor, ceiling.
+RETRY_BASE = 0.05
+RETRY_FACTOR = 2.0
+RETRY_CAP = 1.0
+
+#: Outbound connect/send bounds (localhost: failures are fast, stalls
+#: mean a wedged peer and are cut short; the retry path re-delivers).
+CONNECT_TIMEOUT = 0.3
+SEND_TIMEOUT = 1.0
+
+
+class _PeerLink:
+    """Outbound (write-only) connection to one peer."""
+
+    def __init__(self, peer: str, address: Tuple[str, int]) -> None:
+        self.peer = peer
+        self.address = address
+        self.sock: Optional[socket.socket] = None
+        self.retry_after = 0.0
+        self.dropped = False
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
+class _Tracked:
+    """An unreceipted outbound frame awaiting its receipt."""
+
+    __slots__ = ("peer", "data", "attempts", "event", "kind")
+
+    def __init__(self, peer: str, data: bytes, kind: str) -> None:
+        self.peer = peer
+        self.data = data
+        self.kind = kind
+        self.attempts = 0
+        self.event = None
+
+
+class LiveTransport:
+    """Reliable framed messaging between agent processes."""
+
+    def __init__(self, process_id: ProcessId, scheduler, selector:
+                 selectors.BaseSelector, listen_sock: socket.socket,
+                 peers: Dict[str, Tuple[str, int]], session: str) -> None:
+        self.process_id = process_id
+        self.scheduler = scheduler
+        self.selector = selector
+        self.session = session
+        self._listen = listen_sock
+        self._links = {peer: _PeerLink(peer, tuple(address))
+                       for peer, address in peers.items()}
+        self._endpoints: Dict[ProcessId, Endpoint] = {}
+        self._seq = 0
+        self._unreceipted: Dict[int, _Tracked] = {}
+        self._seen: set = set()
+        self._held: bool = True
+        self._held_frames: List[dict] = []
+        #: Wall time a frame (any frame) last arrived from each peer —
+        #: the failure detector's evidence.
+        self.last_heard: Dict[str, float] = {}
+        #: Messages delivered to the DEVICE pseudo-endpoint, in order.
+        self.device_log: List[Message] = []
+        #: Invoked with control frames (``ctl`` payloads, e.g. takeover).
+        self.on_control: Optional[Callable[[dict], None]] = None
+        self.counters: Dict[str, int] = {
+            "sent": 0, "delivered": 0, "duplicates": 0, "retransmits": 0,
+            "receipts": 0, "integrity_errors": 0, "heartbeats": 0,
+        }
+        listen_sock.setblocking(False)
+        selector.register(listen_sock, selectors.EVENT_READ, self._accept)
+
+    # ------------------------------------------------------------------
+    # TransportPort surface (what FtProcess talks to)
+    # ------------------------------------------------------------------
+    def register(self, endpoint: Endpoint) -> None:
+        self._endpoints[endpoint.process_id] = endpoint
+
+    def send(self, message: Message) -> None:
+        message.send_time = self.scheduler.now
+        if message.born_at == 0.0:
+            message.born_at = self.scheduler.now
+        self.counters["sent"] += 1
+        if message.receiver == DEVICE:
+            self.device_log.append(message)
+            return
+        self._send_tracked(str(message.receiver),
+                           {"t": "msg", "m": message_to_dict(message)})
+
+    def ack(self, message: Message) -> None:
+        """Protocol-acknowledge ``message`` back to its sender."""
+        self._send_tracked(str(message.sender),
+                           {"t": "ack", "to": str(message.sender),
+                            "msg_id": message.msg_id})
+
+    def in_flight(self) -> List[Message]:
+        """Messages whose frames are still unreceipted."""
+        out = []
+        for tracked in self._unreceipted.values():
+            if tracked.kind == "msg":
+                out.append(tracked)
+        return out
+
+    # ------------------------------------------------------------------
+    # agent-facing controls
+    # ------------------------------------------------------------------
+    def unreceipted_count(self) -> int:
+        return len(self._unreceipted)
+
+    def release_held(self) -> None:
+        """Leave held mode: dispatch buffered frames in arrival order.
+
+        A (re)starting agent receipts inbound frames but does not act on
+        them until its process state is ready (post-recovery); stale
+        incarnations are then fenced by the protocol layer exactly as
+        the sim drops pre-crash in-flight deliveries.
+        """
+        self._held = False
+        frames, self._held_frames = self._held_frames, []
+        for frame in frames:
+            self._dispatch(frame)
+
+    def drop_peer(self, peer: str) -> None:
+        """Stop talking to a deposed/dead peer: close the link, discard
+        its unreceipted frames (recovery re-sends under the new
+        incarnation through live peers)."""
+        link = self._links.get(peer)
+        if link is not None:
+            link.dropped = True
+            link.close()
+        stale = [seq for seq, tracked in self._unreceipted.items()
+                 if tracked.peer == peer]
+        for seq in stale:
+            tracked = self._unreceipted.pop(seq)
+            if tracked.event is not None:
+                tracked.event.cancel()
+
+    def send_heartbeat(self) -> None:
+        """Broadcast an (untracked) heartbeat to every live peer."""
+        self.counters["heartbeats"] += 1
+        frame = {"t": "hb", "from": str(self.process_id)}
+        data = encode_frame(frame)
+        for link in self._links.values():
+            if not link.dropped:
+                self._write(link, data, best_effort=True)
+
+    def send_control(self, peer: str, payload: dict) -> None:
+        """Send a reliable control frame (e.g. the takeover broadcast)."""
+        self._send_tracked(peer, {"t": "ctl", "ctl": payload})
+
+    def close(self) -> None:
+        for tracked in self._unreceipted.values():
+            if tracked.event is not None:
+                tracked.event.cancel()
+        self._unreceipted.clear()
+        for link in self._links.values():
+            link.close()
+        try:
+            self.selector.unregister(self._listen)
+        except (KeyError, ValueError):
+            pass
+        self._listen.close()
+
+    # ------------------------------------------------------------------
+    # outbound path
+    # ------------------------------------------------------------------
+    def _send_tracked(self, peer: str, frame: dict) -> None:
+        link = self._links.get(peer)
+        if link is None or link.dropped:
+            return
+        self._seq += 1
+        frame = dict(frame)
+        frame["from"] = str(self.process_id)
+        frame["session"] = self.session
+        frame["seq"] = self._seq
+        tracked = _Tracked(peer, encode_frame(frame), frame["t"])
+        self._unreceipted[self._seq] = tracked
+        self._write(link, tracked.data)
+        self._arm_retry(self._seq, tracked)
+
+    def _arm_retry(self, seq: int, tracked: _Tracked) -> None:
+        delay = min(RETRY_BASE * (RETRY_FACTOR ** tracked.attempts), RETRY_CAP)
+        tracked.event = self.scheduler.schedule_after(
+            delay, self._retransmit, args=(seq,),
+            priority=EventPriority.DELIVERY, label="_infra:retx")
+
+    def _retransmit(self, seq: int) -> None:
+        tracked = self._unreceipted.get(seq)
+        if tracked is None:
+            return
+        link = self._links.get(tracked.peer)
+        if link is None or link.dropped:
+            del self._unreceipted[seq]
+            return
+        tracked.attempts += 1
+        self.counters["retransmits"] += 1
+        self._write(link, tracked.data)
+        self._arm_retry(seq, tracked)
+
+    def _write(self, link: _PeerLink, data: bytes,
+               best_effort: bool = False) -> bool:
+        if link.dropped:
+            return False
+        if link.sock is None:
+            if self.scheduler.now < link.retry_after:
+                return False
+            try:
+                link.sock = socket.create_connection(
+                    link.address, timeout=CONNECT_TIMEOUT)
+                link.sock.settimeout(SEND_TIMEOUT)
+                link.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                link.sock = None
+                link.retry_after = self.scheduler.now + 0.05
+                return False
+        try:
+            link.sock.sendall(data)
+            return True
+        except OSError:
+            link.close()
+            link.retry_after = self.scheduler.now + 0.05
+            return False
+
+    # ------------------------------------------------------------------
+    # inbound path
+    # ------------------------------------------------------------------
+    def _accept(self) -> None:
+        try:
+            conn, _addr = self._listen.accept()
+        except OSError:
+            return
+        conn.setblocking(False)
+        reader = FrameReader()
+        self.selector.register(conn, selectors.EVENT_READ,
+                               lambda c=conn, r=reader: self._readable(c, r))
+
+    def _readable(self, conn: socket.socket, reader: FrameReader) -> None:
+        try:
+            chunk = conn.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            self._close_conn(conn)
+            return
+        try:
+            frames = reader.feed(chunk)
+        except WireIntegrityError:
+            # Corrupt stream: drop the connection; the sender's receipt
+            # timeouts retransmit everything that mattered.
+            self.counters["integrity_errors"] += 1
+            self._close_conn(conn)
+            return
+        for frame in frames:
+            self._on_frame(frame)
+
+    def _close_conn(self, conn: socket.socket) -> None:
+        try:
+            self.selector.unregister(conn)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Any) -> None:
+        if not isinstance(frame, dict):
+            self.counters["integrity_errors"] += 1
+            return
+        kind = frame.get("t")
+        sender = frame.get("from", "")
+        self.last_heard[sender] = self.scheduler.now
+        if kind == "hb":
+            return
+        if kind == "receipt":
+            self._on_receipt(frame)
+            return
+        if kind in ("msg", "ack", "ctl"):
+            self._receipt(frame)
+            key = (sender, frame.get("session"), frame.get("seq"))
+            if key in self._seen:
+                self.counters["duplicates"] += 1
+                return
+            self._seen.add(key)
+            if self._held:
+                self._held_frames.append(frame)
+                return
+            self._dispatch(frame)
+            return
+        self.counters["integrity_errors"] += 1
+
+    def _receipt(self, frame: dict) -> None:
+        link = self._links.get(frame.get("from", ""))
+        if link is None:
+            return
+        receipt = encode_frame({"t": "receipt", "from": str(self.process_id),
+                                "session": frame.get("session"),
+                                "seq": frame.get("seq")})
+        self._write(link, receipt, best_effort=True)
+
+    def _on_receipt(self, frame: dict) -> None:
+        if frame.get("session") != self.session:
+            return
+        tracked = self._unreceipted.pop(frame.get("seq"), None)
+        if tracked is None:
+            return
+        self.counters["receipts"] += 1
+        if tracked.event is not None:
+            tracked.event.cancel()
+
+    def _dispatch(self, frame: dict) -> None:
+        kind = frame["t"]
+        if kind == "msg":
+            try:
+                message = message_from_dict(frame["m"])
+            except (WireIntegrityError, KeyError):
+                self.counters["integrity_errors"] += 1
+                return
+            endpoint = self._endpoints.get(message.receiver)
+            if endpoint is None or not endpoint.is_alive():
+                return
+            self.counters["delivered"] += 1
+            accepted = endpoint.deliver(message)
+            # Verbatim Network auto-ack contract: a read delivery is
+            # protocol-acked; False means buffered/rejected — the
+            # receiver acks explicitly once it actually reads it.
+            if accepted is not False and message.kind != MessageKind.ACK:
+                self.ack(message)
+            return
+        if kind == "ack":
+            endpoint = self._endpoints.get(ProcessId(frame.get("to", "")))
+            if (endpoint is not None and endpoint.is_alive()
+                    and endpoint.on_ack is not None):
+                endpoint.on_ack(frame.get("msg_id"))
+            return
+        if kind == "ctl" and self.on_control is not None:
+            self.on_control(frame.get("ctl") or {})

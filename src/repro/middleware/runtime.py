@@ -38,9 +38,7 @@ from ..app.versions import HighConfidenceVersion, LowConfidenceVersion
 from ..app.workload import WorkloadConfig
 from ..coordination.scheme import Scheme, System, SystemConfig, build_system
 from ..errors import ConfigurationError
-from ..sim.clock import ClockConfig
-from ..sim.events import EventPriority
-from ..sim.network import NetworkConfig
+from ..runtime import ClockConfig, EventPriority, NetworkConfig
 from ..tb.blocking import TbConfig
 from ..types import Role
 from .logic import ComponentLogic, LogicComponent

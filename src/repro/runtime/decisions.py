@@ -1,0 +1,108 @@
+"""Backend-neutral decision traces.
+
+The cross-backend equivalence claim is about protocol *decisions* — the
+checkpoint/recovery choices the paper's algorithms make — not about
+substrate bookkeeping.  Message ids, wall-clock timestamps, blocking
+lengths, and rollback distances differ legitimately between a
+discrete-event run and three OS processes; the decision *sequence* must
+not.
+
+This module normalizes :class:`~repro.sim.trace.TraceRecord` entries to
+plain dictionaries over a whitelist of decision categories, keeping only
+the substrate-independent fields of each.  Both backends use the same
+function — the sim extracts from its in-memory recorder, the live
+agents stream each record through it into a JSONL file — so the two
+traces are comparable by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..sim.trace import TraceRecord, TraceRecorder
+
+#: The decision categories compared across backends, with the fields of
+#: each that are substrate-independent.
+_FIELDS_BY_CATEGORY = {
+    "tb.establish.done": ("epoch", "content", "swapped"),
+    "tb.reset": ("epoch",),
+}
+_FIELDS_BY_PREFIX = (
+    # checkpoint.volatile.{pseudo,type-1,type-2}: the kind travels in the
+    # category; work/meta amounts are timing-dependent.
+    ("checkpoint.volatile.", ()),
+    # recovery.rollback.{software,hardware}: the rollback target is the
+    # decision; the distance is timing.
+    ("recovery.rollback.", ("kind", "epoch")),
+    ("recovery.rollforward.", ()),
+    ("confidence.", ("bit", "reason")),
+)
+_BARE_CATEGORIES = frozenset({"at.pass", "at.fail", "recovery.depose"})
+
+
+def record_to_decision(record: TraceRecord) -> Optional[Dict[str, Any]]:
+    """Normalize one trace record, or ``None`` if it is not a decision."""
+    category = record.category
+    fields = _FIELDS_BY_CATEGORY.get(category)
+    if fields is None:
+        if category in _BARE_CATEGORIES:
+            fields = ()
+        else:
+            for prefix, prefix_fields in _FIELDS_BY_PREFIX:
+                if category.startswith(prefix):
+                    fields = prefix_fields
+                    break
+            else:
+                return None
+    decision: Dict[str, Any] = {"event": category}
+    for field in fields:
+        decision[field] = record.data.get(field)
+    return decision
+
+
+def decisions_from_trace(trace: TraceRecorder) -> Dict[str, List[Dict[str, Any]]]:
+    """Per-process ordered decision sequences from a trace recorder.
+
+    Cross-process interleaving is *not* part of the equivalence claim
+    (two backends may resolve concurrent establishments in either
+    order), so decisions are grouped by process.
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for record in trace:
+        if record.process is None:
+            continue
+        decision = record_to_decision(record)
+        if decision is not None:
+            out.setdefault(str(record.process), []).append(decision)
+    return out
+
+
+def diff_decisions(expected: Dict[str, List[Dict[str, Any]]],
+                   actual: Dict[str, List[Dict[str, Any]]],
+                   expected_name: str = "sim",
+                   actual_name: str = "live") -> List[str]:
+    """Human-readable differences between two decision-trace sets
+    (empty when equivalent)."""
+    problems: List[str] = []
+    for process in sorted(set(expected) | set(actual)):
+        left = expected.get(process, [])
+        right = actual.get(process, [])
+        if left == right:
+            continue
+        if len(left) != len(right):
+            problems.append(
+                f"{process}: {len(left)} decisions on {expected_name}, "
+                f"{len(right)} on {actual_name}")
+        for index, (a, b) in enumerate(zip(left, right)):
+            if a != b:
+                problems.append(
+                    f"{process}[{index}]: {expected_name}={a} {actual_name}={b}")
+                break
+        else:
+            longer, name = ((left, expected_name) if len(left) > len(right)
+                            else (right, actual_name))
+            index = min(len(left), len(right))
+            if index < len(longer):
+                problems.append(
+                    f"{process}[{index}]: only on {name}: {longer[index]}")
+    return problems

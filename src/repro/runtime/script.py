@@ -1,0 +1,135 @@
+"""Scripted cross-backend workloads.
+
+A :class:`WorkloadScript` is an ordered list of operations applied at
+quiesced barriers: every op runs only after the previous one's effects
+have fully propagated (no in-flight messages, no pending protocol
+events).  Under that discipline both backends execute the *same*
+causal history, so the per-process decision sequences must match —
+the basis of the sim-as-oracle cross-check.
+
+Op vocabulary
+-------------
+``internal``/``external``/``step`` target a *component*: ``C1`` applies
+the same :class:`~repro.app.workload.Action` to both replicas of
+component 1 (active and shadow share one action stream, paper Section
+2.1); ``P2`` applies it to the peer.  ``tb-round`` triggers one
+checkpoint establishment on every in-service engine (the engines'
+periodic timers are parked far in the future so rounds happen only when
+scripted).  ``crash``/``restart`` name a node; restart implies the
+coordinated hardware recovery.  ``settle`` is a pure barrier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+from ..app.workload import Action, ActionKind
+from ..types import Role
+
+#: Component targets and the process roles each op fans out to.
+COMPONENT_TARGETS = {
+    "C1": (Role.ACTIVE_1, Role.SHADOW_1),
+    "P2": (Role.PEER_2,),
+}
+
+#: Script-injected actions use indices far past any generated stream.
+SCRIPT_ACTION_BASE = 20_000_000
+
+_ACTION_KINDS = {
+    "internal": ActionKind.SEND_INTERNAL,
+    "external": ActionKind.SEND_EXTERNAL,
+    "step": ActionKind.LOCAL_STEP,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ScriptOp:
+    """One scripted operation.
+
+    ``target`` is a component name for application ops, a node name for
+    ``crash``/``restart``, and empty for ``tb-round``/``settle``.
+    ``stimulus`` is the deterministic application input.
+    """
+
+    op: str
+    target: str = ""
+    stimulus: int = 0
+
+    def is_application(self) -> bool:
+        return self.op in _ACTION_KINDS
+
+    def action(self, sequence: int) -> Action:
+        """The workload action this op injects (identical on every
+        backend and every replica it fans out to)."""
+        if not self.is_application():
+            raise ValueError(f"op {self.op!r} carries no action")
+        return Action(index=SCRIPT_ACTION_BASE + sequence,
+                      kind=_ACTION_KINDS[self.op], gap=0.0,
+                      stimulus=self.stimulus)
+
+    def roles(self) -> Tuple[Role, ...]:
+        """The process roles an application op targets."""
+        try:
+            return COMPONENT_TARGETS[self.target]
+        except KeyError:
+            raise ValueError(f"unknown component target {self.target!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadScript:
+    """An ordered, barrier-separated op sequence."""
+
+    ops: Tuple[ScriptOp, ...]
+
+    def __iter__(self) -> Iterator[ScriptOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def numbered(self) -> List[Tuple[int, ScriptOp]]:
+        """Ops with their injection sequence numbers (used as action
+        indices, so both backends construct identical actions)."""
+        return list(enumerate(self.ops))
+
+
+def standard_script() -> WorkloadScript:
+    """The canonical cross-check script: contamination build-up, dirty
+    and clean establishments, an external validation round each way, one
+    node crash + coordinated hardware recovery, and post-recovery
+    traffic — every decision family the equivalence claim covers.
+    """
+    return WorkloadScript(ops=(
+        # Contaminate: active takes its pseudo checkpoint, P2 its Type-1.
+        ScriptOp("internal", "C1", stimulus=11),
+        ScriptOp("internal", "C1", stimulus=12),
+        # Dirty establishment (volatile-copy contents).
+        ScriptOp("tb-round"),
+        # Active passes its AT: passed-AT fan-out cleans the system.
+        ScriptOp("external", "C1", stimulus=13),
+        # Clean establishment (current-state contents).
+        ScriptOp("tb-round"),
+        # Re-contaminate, then validate from the peer side.
+        ScriptOp("internal", "C1", stimulus=14),
+        ScriptOp("external", "P2", stimulus=15),
+        ScriptOp("tb-round"),
+        # Crash the peer's node; recovery rolls everyone to the line.
+        ScriptOp("crash", "N2"),
+        ScriptOp("settle"),
+        ScriptOp("restart", "N2"),
+        # Post-recovery traffic and a final establishment.
+        ScriptOp("internal", "C1", stimulus=16),
+        ScriptOp("external", "C1", stimulus=17),
+        ScriptOp("tb-round"),
+    ))
+
+
+def smoke_script() -> WorkloadScript:
+    """A short crash-free script for quick conformance smokes."""
+    return WorkloadScript(ops=(
+        ScriptOp("internal", "C1", stimulus=1),
+        ScriptOp("tb-round"),
+        ScriptOp("external", "C1", stimulus=2),
+        ScriptOp("tb-round"),
+    ))

@@ -1,0 +1,101 @@
+"""The discrete-event backend for scripted cross-backend workloads.
+
+``SimBackend`` wraps the existing :class:`~repro.coordination.scheme.System`
+(which already runs entirely on the runtime ports — the sim adapters)
+and drives it with a :class:`~repro.runtime.script.WorkloadScript`:
+advance the kernel one quiet step, inject the op, repeat.  The TB
+interval is parked far beyond the script duration so establishments
+happen only at scripted ``tb-round`` ops, and the Poisson workload
+rates are near-zero so the action streams stay empty — the script is
+the entire workload, exactly as on the live backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..app.workload import WorkloadConfig
+from ..coordination.scheme import Scheme, SystemConfig, build_system
+from ..tb.blocking import TbConfig
+from ..types import Role
+from .decisions import decisions_from_trace
+from .script import ScriptOp, WorkloadScript
+
+#: TB interval used by scripted runs on BOTH backends: long enough that
+#: the periodic timer never fires on its own within a scripted run.
+SCRIPTED_TB_INTERVAL = 10_000.0
+
+#: Near-zero Poisson rate (the config forbids all-zero rates); the
+#: first generated arrival lands ~1e12 seconds out.
+_IDLE_RATE = 1e-12
+
+#: Sim-time advanced between barriers — ample for every in-flight
+#: message, ack, and blocking period of one op to drain.
+STEP_SECONDS = 5.0
+
+
+def scripted_config(seed: int = 0, horizon: float = 1_000.0) -> SystemConfig:
+    """The system configuration scripted runs use on the sim backend.
+
+    The live agents mirror the protocol-relevant parts (scheme, TB
+    interval, acceptance-test coverage, seed-derived RNG streams); the
+    substrate parts (delays, drift) legitimately differ.
+    """
+    idle = WorkloadConfig(internal_rate=_IDLE_RATE, external_rate=_IDLE_RATE,
+                          step_rate=_IDLE_RATE, horizon=horizon)
+    return SystemConfig(
+        scheme=Scheme.COORDINATED, seed=seed, horizon=horizon,
+        tb=TbConfig(interval=SCRIPTED_TB_INTERVAL),
+        workload1=idle, workload2=idle,
+        trace_enabled=True,
+    )
+
+
+class SimBackend:
+    """Run a scripted workload on the discrete-event substrate."""
+
+    name = "sim"
+
+    def __init__(self, seed: int = 0, step: float = STEP_SECONDS) -> None:
+        self.seed = seed
+        self.step = step
+        horizon = 1_000.0
+        self.system = build_system(scripted_config(seed=seed, horizon=horizon))
+
+    # ------------------------------------------------------------------
+    def run_script(self, script: WorkloadScript) -> Dict[str, List[Dict[str, Any]]]:
+        """Execute the script and return per-process decision traces."""
+        system = self.system
+        system.start()
+        now = 0.0
+        for sequence, op in script.numbered():
+            now += self.step
+            system.sim.run(until=now)
+            self._apply(op, sequence)
+        system.sim.run(until=now + self.step)
+        return decisions_from_trace(system.trace)
+
+    # ------------------------------------------------------------------
+    def _apply(self, op: ScriptOp, sequence: int) -> None:
+        if op.op == "settle":
+            return
+        if op.op == "tb-round":
+            for role in (Role.ACTIVE_1, Role.SHADOW_1, Role.PEER_2):
+                process = self.system.processes[role]
+                if process.hardware is not None:
+                    process.hardware.trigger_round()
+            return
+        if op.op == "crash":
+            self.system.nodes[op.target].crash()
+            return
+        if op.op == "restart":
+            # Node.restart notifies the hardware recovery coordinator,
+            # which rolls every in-service process to the recovery line.
+            self.system.nodes[op.target].restart()
+            return
+        action = op.action(sequence)
+        for role in op.roles():
+            process = self.system.processes[role]
+            if process.deposed or process.node.crashed:
+                continue
+            process.perform_action(action)

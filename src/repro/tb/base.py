@@ -26,10 +26,8 @@ from typing import Optional
 
 from ..checkpoint import Checkpoint
 from ..messages.message import Message
+from ..runtime import ClockConfig, EventPriority, NetworkConfig
 from ..snapshot.sections import split_sections
-from ..sim.clock import ClockConfig
-from ..sim.events import EventPriority
-from ..sim.network import NetworkConfig
 from ..types import CheckpointKind, StableContent
 from .blocking import TbConfig, blocking_period, worst_case_blocking
 
@@ -132,6 +130,22 @@ class TbEngineBase:
     def next_boundary_index(self) -> int:
         """Index of the next interval boundary on the local clock."""
         return int(self.clock.now() / self.config.interval) + 1
+
+    def trigger_round(self) -> None:
+        """Run one checkpoint establishment now, out of band.
+
+        Scripted cross-backend workloads park the periodic timer far in
+        the future and drive establishments explicitly, so both backends
+        checkpoint at the same points of the causal history.  The next
+        periodic deadline re-anchors to the current local time, keeping
+        the parked timer parked.
+        """
+        if (self.stopped or self.process.node.crashed or self.process.deposed
+                or self._pending is not None):
+            return
+        self._cancel_alarm()
+        self._next_deadline = self.clock.now()
+        self._on_timer()
 
     def reset_after_recovery(self, epoch: int,
                              boundary_index: Optional[int] = None) -> None:

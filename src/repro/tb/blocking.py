@@ -18,8 +18,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import ConfigurationError
-from ..sim.clock import ClockConfig
-from ..sim.network import NetworkConfig
+from ..runtime import ClockConfig, NetworkConfig
 
 
 @dataclasses.dataclass(frozen=True)

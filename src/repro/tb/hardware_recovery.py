@@ -19,8 +19,7 @@ from typing import Dict, List, Optional
 
 from ..checkpoint import Checkpoint
 from ..errors import RecoveryError
-from ..sim.node import Node
-from ..sim.trace import TraceRecorder
+from ..runtime import Node, TraceRecorder
 from ..types import ProcessId
 
 

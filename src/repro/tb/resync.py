@@ -15,9 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim.clock import DriftingClock
-from ..sim.kernel import Simulator
-from ..sim.trace import TraceRecorder
+from ..runtime import DriftingClock, Simulator, TraceRecorder
 
 
 class ResyncService:

@@ -1,0 +1,104 @@
+"""The BENCH_warmstart.json perf trajectory: each bench run appends a
+compact summary entry instead of overwriting the previous record, and
+legacy single-record files migrate in place."""
+
+import json
+
+from repro.experiments.warmstart_bench import (
+    read_latest,
+    trajectory_entry,
+    write_record,
+)
+
+
+def _record(speedup, fingerprint="abcd1234"):
+    return {
+        "bench": "warmstart",
+        "python": "3.11.7",
+        "fingerprint": fingerprint,
+        "campaign": {"speedup": speedup, "cold_seconds": 4.0,
+                     "warm_seconds": 4.0 / speedup},
+        "shrink": {"speedup": speedup + 1.0},
+        "digests": {"identical": True},
+        "golden": {"matches": True},
+        "equivalent": True,
+    }
+
+
+class TestTrajectoryEntry:
+    def test_compact_fields(self):
+        entry = trajectory_entry(_record(3.5), recorded_at="2026-01-01T00:00:00Z")
+        assert entry == {
+            "recorded_at": "2026-01-01T00:00:00Z",
+            "python": "3.11.7",
+            "fingerprint": "abcd1234",
+            "campaign_speedup": 3.5,
+            "shrink_speedup": 4.5,
+            "campaign_cold_seconds": 4.0,
+            "campaign_warm_seconds": 4.0 / 3.5,
+            "equivalent": True,
+        }
+
+    def test_stamps_utc_when_unspecified(self):
+        entry = trajectory_entry(_record(3.0))
+        assert entry["recorded_at"].endswith("Z")
+
+
+class TestWriteRecord:
+    def test_first_write_creates_document(self, tmp_path):
+        path = str(tmp_path / "BENCH_warmstart.json")
+        write_record(_record(3.0), path)
+        doc = json.load(open(path))
+        assert set(doc) == {"bench", "latest", "trajectory"}
+        assert doc["latest"]["campaign"]["speedup"] == 3.0
+        assert len(doc["trajectory"]) == 1
+
+    def test_repeat_runs_append_not_overwrite(self, tmp_path):
+        path = str(tmp_path / "BENCH_warmstart.json")
+        for speedup in (3.0, 3.5, 4.0):
+            write_record(_record(speedup), path)
+        doc = json.load(open(path))
+        assert doc["latest"]["campaign"]["speedup"] == 4.0
+        assert [e["campaign_speedup"] for e in doc["trajectory"]] == \
+            [3.0, 3.5, 4.0]
+
+    def test_legacy_bare_record_migrates(self, tmp_path):
+        path = str(tmp_path / "BENCH_warmstart.json")
+        with open(path, "w") as fh:
+            json.dump(_record(2.5, fingerprint="legacy00"), fh)
+        write_record(_record(3.5), path)
+        doc = json.load(open(path))
+        # The legacy record became the first trajectory entry, stamped
+        # with the old file's mtime; the new run follows it.
+        assert [e["fingerprint"] for e in doc["trajectory"]] == \
+            ["legacy00", "abcd1234"]
+        assert doc["trajectory"][0]["recorded_at"].endswith("Z")
+        assert doc["latest"]["fingerprint"] == "abcd1234"
+
+    def test_corrupt_file_does_not_block_the_bench(self, tmp_path):
+        path = str(tmp_path / "BENCH_warmstart.json")
+        with open(path, "w") as fh:
+            fh.write("{ torn json")
+        write_record(_record(3.0), path)
+        doc = json.load(open(path))
+        assert len(doc["trajectory"]) == 1
+
+
+class TestReadLatest:
+    def test_reads_trajectory_document(self, tmp_path):
+        path = str(tmp_path / "BENCH_warmstart.json")
+        write_record(_record(3.0), path)
+        assert read_latest(path)["campaign"]["speedup"] == 3.0
+
+    def test_reads_legacy_bare_record(self, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as fh:
+            json.dump(_record(2.5), fh)
+        assert read_latest(path)["campaign"]["speedup"] == 2.5
+
+    def test_missing_or_invalid_gives_none(self, tmp_path):
+        assert read_latest(str(tmp_path / "absent.json")) is None
+        path = str(tmp_path / "junk.json")
+        with open(path, "w") as fh:
+            fh.write("[1, 2]")
+        assert read_latest(path) is None

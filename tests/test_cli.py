@@ -15,7 +15,7 @@ class TestParser:
         for command in ("scenarios", "fig7", "table1", "overhead",
                         "ablations", "demo", "timeline", "report",
                         "snapshot-stats", "bench-kernel", "bench-warmstart",
-                        "audit"):
+                        "audit", "live-demo", "live-crosscheck"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -165,6 +165,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["timeline", "--scheme", "bogus"])
 
+    def test_live_demo_flags(self):
+        args = build_parser().parse_args(
+            ["live-demo", "--seed", "4", "--tb-interval", "0.5",
+             "--heartbeat", "0.1", "--timeout", "0.5",
+             "--deadline", "60", "--workdir", "/tmp/x"])
+        assert args.seed == 4
+        assert args.tb_interval == 0.5
+        assert args.heartbeat == 0.1
+        assert args.timeout == 0.5
+        assert args.deadline == 60.0
+        assert args.workdir == "/tmp/x"
+
+    def test_live_demo_defaults(self):
+        args = build_parser().parse_args(["live-demo"])
+        assert args.seed == 0
+        assert args.tb_interval == 0.8
+        assert args.workdir is None
+
+    def test_live_crosscheck_flags(self):
+        args = build_parser().parse_args(
+            ["live-crosscheck", "--seed", "12", "--smoke",
+             "--workdir", "/tmp/y"])
+        assert args.seed == 12
+        assert args.smoke
+        assert args.workdir == "/tmp/y"
+
+    def test_live_crosscheck_defaults(self):
+        args = build_parser().parse_args(["live-crosscheck"])
+        assert args.seed == 0
+        assert not args.smoke
+        assert args.workdir is None
+
 
 class TestExecution:
     def test_demo_runs_clean(self, capsys):
@@ -282,3 +314,26 @@ class TestExecution:
                      "--expect-violation"]) == 0
         text = capsys.readouterr().out
         assert "VIOLATES" in text
+
+    def test_live_crosscheck_smoke_equivalent(self, capsys, tmp_path):
+        assert main(["live-crosscheck", "--smoke", "--seed", "5",
+                     "--workdir", str(tmp_path / "live")]) == 0
+        out = capsys.readouterr().out
+        assert "equivalent: True" in out
+        assert "P1_act" in out
+
+    def test_live_demo_survives_kill9(self, capsys, tmp_path):
+        import json
+        workdir = tmp_path / "demo"
+        assert main(["live-demo", "--seed", "2", "--tb-interval", "0.5",
+                     "--heartbeat", "0.1", "--timeout", "0.5",
+                     "--deadline", "60", "--workdir", str(workdir)]) == 0
+        out = capsys.readouterr().out
+        assert "demo PASSED" in out
+        assert "shadow takeover" in out
+        summary = json.loads((workdir / "demo_summary.json").read_text())
+        assert summary["ok"]
+        assert summary["takeover"]["reason"] == "heartbeat-timeout"
+        # Decision artifacts were collected for every process.
+        for name in ("P1_act", "P1_sdw", "P2"):
+            assert (workdir / f"decisions_{name}.jsonl").exists()
