@@ -74,6 +74,26 @@ def _cmd_overhead(args) -> int:
     return 0
 
 
+def _cmd_topology_sweep(args) -> int:
+    import dataclasses
+    from .experiments.topology_sweep import (
+        TopologySweepConfig,
+        format_topology_sweep,
+        run_topology_sweep,
+    )
+    config = TopologySweepConfig()
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    if args.horizon is not None:
+        config = dataclasses.replace(config, horizon=args.horizon)
+    if args.topologies:
+        specs = tuple(s.strip() for s in args.topologies.split(",") if s.strip())
+        config = dataclasses.replace(config, topologies=specs)
+    print(format_topology_sweep(run_topology_sweep(config,
+                                                   workers=args.workers)))
+    return 0
+
+
 def _cmd_ablations(args) -> int:
     import dataclasses
     from .experiments.ablations import (
@@ -267,7 +287,8 @@ def _cmd_audit(args) -> int:
         schedules = sensitivity_schedules(config)
     else:
         config = AuditConfig(scheme=args.scheme, seed=args.seed,
-                             schedules=args.schedules, horizon=args.horizon)
+                             schedules=args.schedules, horizon=args.horizon,
+                             topology=args.topology)
         schedules = None
         if args.warmstart:
             # Warm-start trades per-schedule seed diversity for prefix
@@ -354,23 +375,27 @@ def _cmd_demo(args) -> int:
 
 def _cmd_live_demo(args) -> int:
     from .live.harness import LiveHarness
+    from .topology.model import Topology
 
+    topo = Topology.paper()
+    active_id = topo.actives()[0].role_id
+    peer_id = topo.peers()[0].role_id
     harness = LiveHarness(
         seed=args.seed, tb_interval=args.tb_interval, workdir=args.workdir,
         deadline=args.deadline,
         heartbeat={"interval": args.heartbeat, "timeout": args.timeout})
     summary = harness.run_demo()
-    print(f"Live demo, seed {args.seed}: three OS processes, TCP transport, "
-          f"TB interval {args.tb_interval:.2f}s, heartbeat every "
-          f"{args.heartbeat:.2f}s.\n")
+    print(f"Live demo, seed {args.seed}: {topo.size} OS processes, "
+          f"TCP transport, TB interval {args.tb_interval:.2f}s, heartbeat "
+          f"every {args.heartbeat:.2f}s.\n")
     takeover = summary.get("takeover") or {}
     recovery = summary.get("hardware_recovery") or {}
-    print(f"  kill -9 P1_act         : {summary.get('active_killed')}")
+    print(f"  kill -9 {active_id:15s}: {summary.get('active_killed')}")
     print(f"  shadow takeover        : decision={takeover.get('decision')} "
           f"incarnation={takeover.get('incarnation')} "
           f"suppressed-log-resent={takeover.get('log_suppressed')}")
     print(f"  peer adopted takeover  : {bool(summary.get('peer_adopted'))}")
-    print(f"  kill -9 P2             : {summary.get('peer_killed')}")
+    print(f"  kill -9 {peer_id:15s}: {summary.get('peer_killed')}")
     print(f"  hardware recovery      : line={recovery.get('line')} "
           f"boundary={recovery.get('boundary')} "
           f"incarnation={recovery.get('incarnation')}")
@@ -389,9 +414,10 @@ def _cmd_live_crosscheck(args) -> int:
 
     script = smoke_script() if args.smoke else None
     result = run_crosscheck(seed=args.seed, script=script,
-                            workdir=args.workdir)
+                            workdir=args.workdir, topology=args.topology)
     summary = result.summary()
-    print(f"cross-backend check, seed {args.seed}: "
+    print(f"cross-backend check, seed {args.seed}, "
+          f"topology {result.topology}: "
           f"{summary['ops']} scripted ops "
           f"({'smoke' if args.smoke else 'standard'} script)")
     for process, count in sorted(summary["decisions_per_process"].items()):
@@ -440,6 +466,21 @@ def build_parser() -> argparse.ArgumentParser:
     overhead = sub.add_parser("overhead", help="performance cost by scheme")
     add_campaign_args(overhead, cache=False)
     overhead.set_defaults(fn=_cmd_overhead)
+
+    tsweep = sub.add_parser(
+        "topology-sweep",
+        help="coordinated-scheme overhead vs system size (N x K topologies)")
+    tsweep.add_argument("--seed", type=int, default=None,
+                        help="master seed for the sweep")
+    tsweep.add_argument("--horizon", type=float, default=None,
+                        help="simulated seconds per topology")
+    tsweep.add_argument("--topologies", default=None,
+                        help="comma-separated specs, e.g. "
+                             "'paper,2x2+3,4x4+5' (default sweep: "
+                             "3, 9 and 25 processes)")
+    tsweep.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: serial)")
+    tsweep.set_defaults(fn=_cmd_topology_sweep)
 
     ablations = sub.add_parser("ablations", help="design-choice ablations")
     ablations.add_argument("--full", action="store_true")
@@ -533,6 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "standard crash+recovery script")
     live_cross.add_argument("--workdir", default=None,
                             help="live artifact directory (default: tempdir)")
+    live_cross.add_argument("--topology", default="paper",
+                            help="membership to spawn: 'paper' or 'NxK'/"
+                                 "'NxK+U' (one OS process per member)")
     live_cross.set_defaults(fn=_cmd_live_crosscheck)
 
     demo = sub.add_parser("demo", help="one narrated coordinated run")
@@ -553,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of schedules to explore")
     audit.add_argument("--horizon", type=float, default=600.0,
                        help="simulated seconds per schedule")
+    audit.add_argument("--topology", default="paper",
+                       help="membership under audit: 'paper' or 'NxK'/"
+                            "'NxK+U' (N components x K shadows + U peers)")
     audit.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: serial)")
     audit.add_argument("--shrink", action="store_true",

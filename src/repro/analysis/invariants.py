@@ -129,7 +129,9 @@ def check_recoverability(line: Dict[ProcessId, ProcessView],
                          exempt_receivers: Iterable[ProcessId] = (),
                          guarded_active: Optional[ProcessId] = None,
                          shadow_vr: Optional[int] = None,
-                         in_flight_keys: Iterable[int] = ()) -> List[Violation]:
+                         in_flight_keys: Iterable[int] = (),
+                         guarded_map: Optional[Dict[ProcessId,
+                                                    Optional[int]]] = None) -> List[Violation]:
     """Recoverability: every sent-but-not-received message must be
     restorable by the recovery machinery.
 
@@ -153,9 +155,17 @@ def check_recoverability(line: Dict[ProcessId, ProcessView],
     divergence it accumulates is covered by the shadow (see DESIGN.md,
     "known corner cases").  Callers that want the strict property pass
     nothing.
+
+    ``guarded_map`` is the N-component form of the shadow-log arm: each
+    guarded active's process id mapped to its component's valid message
+    register (the scalar ``guarded_active``/``shadow_vr`` pair is merged
+    into it, so the paper's callers are a special case).
     """
     exempt = set(exempt_receivers)
     wire = set(in_flight_keys)
+    guarded: Dict[ProcessId, Optional[int]] = dict(guarded_map or {})
+    if guarded_active is not None:
+        guarded[guarded_active] = shadow_vr
     violations: List[Violation] = []
     for pid, view in line.items():
         unacked_keys = {m.dedup_key for m in view.snapshot.unacked}
@@ -176,10 +186,10 @@ def check_recoverability(line: Dict[ProcessId, ProcessView],
                 continue  # literally in transit (live-state checks only)
             if rec.receiver in exempt:
                 continue
-            if (guarded_active is not None and pid == guarded_active
-                    and (rec.sn is None or shadow_vr is None
-                         or rec.sn > shadow_vr)):
-                continue  # restorable by the shadow's log / re-execution
+            if pid in guarded:
+                vr = guarded[pid]
+                if rec.sn is None or vr is None or rec.sn > vr:
+                    continue  # restorable by a shadow's log / re-execution
             violations.append(Violation(
                 kind=UNRESTORABLE_MESSAGE, message_key=rec.key, process=pid,
                 detail=(f"message {rec.key} {pid}->{rec.receiver} is reflected "
@@ -270,6 +280,78 @@ def check_system_line(line: Dict[ProcessId, ProcessView],
                             include_ground_truth=include_ground_truth)
     if pseudo_conservatism and include_ground_truth:
         violations += check_pseudo_conservatism(line, guarded_active=active)
+    return violations
+
+
+def _topology_guarded_map(line: Dict[ProcessId, ProcessView],
+                          topology) -> Dict[ProcessId, Optional[int]]:
+    """Per-active valid-message-register bounds, from the line itself.
+
+    Each guarded active maps to the *minimum* of its shadows' VRs (a
+    message beyond a shadow's VR sits in that shadow's suppressed log or
+    is regenerated by its re-execution, so the lowest register is the
+    bound every potential successor can restore past); any shadow with
+    no validation yet (``VR = None``) makes everything restorable."""
+    guarded: Dict[ProcessId, Optional[int]] = {}
+    for active in topology.actives():
+        vrs = []
+        for spec in topology.shadows_of(active.component):
+            view = line.get(ProcessId(spec.role_id))
+            if view is None:
+                continue
+            vrs.append(view.snapshot.mdcd.vr)
+        if not vrs or any(vr is None for vr in vrs):
+            guarded[ProcessId(active.role_id)] = None
+        else:
+            guarded[ProcessId(active.role_id)] = min(vrs)
+    return guarded
+
+
+def check_topology_system_line(line: Dict[ProcessId, ProcessView],
+                               topology,
+                               include_ground_truth: bool = True,
+                               pseudo_conservatism: bool = False) -> List[Violation]:
+    """:func:`check_line` generalised to an N-component
+    :class:`~repro.topology.model.Topology`: every low-confidence
+    active is an exempt receiver, and the shadow-log restorability arm
+    runs per component against the VRs captured in the line.  On the
+    paper topology this is exactly :func:`check_system_line`."""
+    exempt = [ProcessId(rid) for rid in topology.exempt_role_ids()]
+    guarded = _topology_guarded_map(line, topology)
+    violations = check_consistency(line, exempt_receivers=exempt)
+    violations += check_recoverability(line, exempt_receivers=exempt,
+                                       guarded_map=guarded)
+    if include_ground_truth:
+        violations += check_ground_truth(line)
+        if pseudo_conservatism:
+            for pid in guarded:
+                violations += check_pseudo_conservatism(
+                    line, guarded_active=pid)
+    return violations
+
+
+def check_live_topology(system, include_ground_truth: bool = True) -> List[Violation]:
+    """:func:`check_live_system` generalised to the system's topology
+    (falls through to the paper-specialised checker on the paper
+    shape, keeping that path byte-identical)."""
+    topology = getattr(system, "topology", None)
+    if topology is None or topology.is_paper:
+        return check_live_system(system,
+                                 include_ground_truth=include_ground_truth)
+    from .global_state import live_line
+    line = live_line(system)
+    wire = {m.dedup_key for m in system.network.in_flight()}
+    for proc in system.process_list():
+        wire.update(m.dedup_key for m in proc._buffer)
+    exempt = [ProcessId(rid) for rid in topology.exempt_role_ids()]
+    guarded = _topology_guarded_map(line, topology)
+    violations = check_consistency(line, exempt_receivers=exempt,
+                                   include_validity_views=False)
+    violations += check_recoverability(line, exempt_receivers=exempt,
+                                       guarded_map=guarded,
+                                       in_flight_keys=wire)
+    if include_ground_truth:
+        violations += check_ground_truth(line)
     return violations
 
 

@@ -8,8 +8,8 @@ against the discrete-event simulation in ``tests/analysis``.
 Notation (all rates are per second):
 
 * ``lambda_v`` — rate of *validation events* (successful ATs).  These
-  are ``P1_act``'s external sends (always AT-tested) plus ``P2``'s
-  external sends that happen while dirty:
+  are the guarded active's external sends (always AT-tested) plus the
+  unguarded peer's external sends that happen while dirty:
   ``lambda_v = l_ext1 + f_d2 * l_ext2`` (solved self-consistently, since
   ``f_d2`` itself depends on ``lambda_v``).
 * ``f_d(p)`` — fraction of time process ``p`` is dirty: an alternating
@@ -70,15 +70,16 @@ class ModelParams:
                 raise ConfigurationError(f"{name} must be non-negative")
         if self.external_rate1 <= 0:
             raise ConfigurationError(
-                "the model needs external_rate1 > 0 (P1_act must run ATs)")
+                "the model needs external_rate1 > 0 "
+                "(the guarded active must run ATs)")
 
 
 def validation_rate(params: ModelParams, iterations: int = 50) -> float:
     """Self-consistent validation-event rate ``lambda_v``.
 
-    ``P2`` contributes an AT only when dirty; its dirty fraction depends
-    on ``lambda_v`` itself, so iterate to the fixed point (monotone,
-    converges in a handful of steps).
+    The unguarded peer contributes an AT only when dirty; its dirty
+    fraction depends on ``lambda_v`` itself, so iterate to the fixed
+    point (monotone, converges in a handful of steps).
     """
     lam = params.external_rate1
     for _ in range(iterations):
@@ -109,8 +110,8 @@ def expected_rollback_write_through(params: ModelParams) -> float:
 def expected_rollback_coordinated(params: ModelParams,
                                   onset_rate: float = None) -> float:
     """``E[D_co]`` for a process whose dirty-onset rate is
-    ``onset_rate`` (default: ``P2``'s, i.e. ``P1_act``'s internal
-    message rate)."""
+    ``onset_rate`` (default: the unguarded peer's, i.e. the guarded
+    active's internal message rate)."""
     lam_v = validation_rate(params)
     onset = params.internal_rate1 if onset_rate is None else onset_rate
     f_d = dirty_fraction(onset, lam_v)

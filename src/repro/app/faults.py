@@ -35,10 +35,13 @@ class SoftwareFaultPlan:
 
     ``activate_at`` — true time of activation; ``deactivate_at`` — if
     set, the defect stops manifesting then (a window of bad inputs).
+    ``component`` — which guarded component's low-confidence version is
+    defective (1 in the paper's single-component shape).
     """
 
     activate_at: float
     deactivate_at: Optional[float] = None
+    component: int = 1
 
     def __post_init__(self) -> None:
         if self.activate_at < 0:

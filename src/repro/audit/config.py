@@ -71,8 +71,19 @@ class AuditConfig:
     #: Name of a planted protocol bug (see :mod:`repro.audit.mutations`)
     #: or ``None`` for the unmutated protocol.
     mutation: Optional[str] = None
+    #: Membership spec the audited systems are built with (``"paper"``
+    #: or ``"NxK"``/``"NxK+U"``; see :mod:`repro.topology`).  Omitted
+    #: from :meth:`to_dict` when left at the default so historical
+    #: campaign fingerprints — and the warm-start caches and golden
+    #: digests keyed by them — are unchanged.
+    topology: str = "paper"
 
     def __post_init__(self) -> None:
+        from ..topology.model import parse_topology
+        try:
+            parse_topology(self.topology)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc))
         if self.scheme_enum not in AUDITABLE_SCHEMES:
             raise ConfigurationError(
                 f"scheme {self.scheme!r} is not auditable "
@@ -112,7 +123,8 @@ class AuditConfig:
                                      external_rate=self.w2_external,
                                      step_rate=self.step_rate),
             trace_categories=AUDIT_TRACE_CATEGORIES,
-            stable_history=self.stable_history)
+            stable_history=self.stable_history,
+            topology=self.topology)
 
     def fingerprint(self) -> str:
         """Short stable digest of the campaign parameters (cache keys,
@@ -122,7 +134,12 @@ class AuditConfig:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if data.get("topology") == "paper":
+            # Default topology is omitted so pre-topology fingerprints
+            # (pinned goldens, warm-start cache keys) stay stable.
+            del data["topology"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "AuditConfig":

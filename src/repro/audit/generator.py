@@ -28,6 +28,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.rng import derive_seed
+from ..topology.model import parse_topology
 from .config import AuditConfig
 from .schedule import (
     SYSTEM_NODES,
@@ -47,6 +48,14 @@ SKEW_RHOS = (0.0, 1e-3)
 def _schedule_seed(config: AuditConfig, index: int) -> int:
     """The system seed of the ``index``-th schedule (31-bit, stable)."""
     return derive_seed(config.seed, f"audit:{index}") % (2 ** 31)
+
+
+def _campaign_nodes(config: AuditConfig):
+    """Crash targets, derived from the campaign's topology (for the
+    paper shape this is exactly the historical ``SYSTEM_NODES``)."""
+    nodes = parse_topology(config.topology).node_ids()
+    assert config.topology != "paper" or nodes == SYSTEM_NODES
+    return nodes
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +121,8 @@ def boundary_schedules(config: AuditConfig,
     truncated prefix still covers all categories."""
     if timeline is None:
         timeline = reference_timeline(config)
+    nodes = _campaign_nodes(config)
+    n_components = parse_topology(config.topology).n_components
     horizon = config.horizon
     commit_times = [t for t in timeline.commit_times()
                     if BOUNDARY_EPS < t < horizon - 1.0]
@@ -136,7 +147,7 @@ def boundary_schedules(config: AuditConfig,
     # commit (the establishment is mid-flight) and just after (the new
     # line is the freshest possible recovery basis).
     for t in commit_times:
-        for node in SYSTEM_NODES:
+        for node in nodes:
             add("commit-edge",
                 crashes=[CrashSpec(node_id=node, crash_at=t - BOUNDARY_EPS)])
             add("commit-edge",
@@ -145,32 +156,39 @@ def boundary_schedules(config: AuditConfig,
     # Crashes inside a TB blocking period (buffered messages, content
     # swaps and establishment commits all in flight).
     for t in mid_blocks:
-        for node in SYSTEM_NODES:
+        for node in nodes:
             add("mid-blocking", crashes=[CrashSpec(node_id=node, crash_at=t)])
 
     # A software fault activated just before an acceptance-test pass:
     # contamination that the very next validation wave will (wrongly,
-    # under the naive scheme) launder into the checkpoints.
-    for t in at_times:
-        add("pre-at", software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)])
+    # under the naive scheme) launder into the checkpoints.  With
+    # several guarded components the enumeration cycles the defective
+    # component (one per AT instant); the single-component paper shape
+    # always targets component 1, exactly as before.
+    for i, t in enumerate(at_times):
+        comp = (i % n_components) + 1
+        add("pre-at", software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS,
+                                                  component=comp)])
         # ... with a crash landing mid-software-recovery (the fault's
         # eventual AT failure triggers rollback; crash it shortly after).
-        for node in SYSTEM_NODES:
+        for node in nodes:
             add("mid-recovery",
-                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)],
+                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS,
+                                            component=comp)],
                 crashes=[CrashSpec(node_id=node, crash_at=t + 2.0)])
         # ... and the coincident case: software fault and crash at
         # (essentially) the same instant.
-        for node in SYSTEM_NODES:
+        for node in nodes:
             add("coincident",
-                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS)],
+                software=[SoftwareFaultSpec(activate_at=t - BOUNDARY_EPS,
+                                            component=comp)],
                 crashes=[CrashSpec(node_id=node, crash_at=t)])
 
     # Double crashes around one commit: the recovery line must survive
     # losing two nodes in quick succession.
     for t in commit_times:
-        for i, first in enumerate(SYSTEM_NODES):
-            for second in SYSTEM_NODES[i + 1:]:
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1:]:
                 add("double-crash",
                     crashes=[CrashSpec(node_id=first, crash_at=t - BOUNDARY_EPS),
                              CrashSpec(node_id=second, crash_at=t + 1.0)])
@@ -179,16 +197,17 @@ def boundary_schedules(config: AuditConfig,
     for t in timeline.resyncs:
         if not BOUNDARY_EPS < t < horizon - 1.0:
             continue
-        for node in SYSTEM_NODES:
+        for node in nodes:
             add("resync-edge", crashes=[CrashSpec(node_id=node, crash_at=t)])
 
     # Clock-skew extremes: the same mid-horizon crash under the largest
-    # and smallest clock deviations the model admits.
+    # and smallest clock deviations the model admits (the last node in
+    # topology order — the paper's "N2").
     mid = horizon / 2.0
     for delta in SKEW_DELTAS:
         for rho in SKEW_RHOS:
             add("skew",
-                crashes=[CrashSpec(node_id="N2", crash_at=mid)],
+                crashes=[CrashSpec(node_id=nodes[-1], crash_at=mid)],
                 overrides=[("clock_delta", delta), ("clock_rho", rho)])
 
     # Round-robin interleave so truncation keeps category diversity,
@@ -218,6 +237,8 @@ def random_schedules(config: AuditConfig, count: int, start_index: int = 0,
     snapped near a commit instant of the reference timeline.
     """
     commit_times = timeline.commit_times() if timeline is not None else []
+    nodes = _campaign_nodes(config)
+    n_components = parse_topology(config.topology).n_components
     horizon = config.horizon
     out: List[FaultSchedule] = []
     for offset in range(count):
@@ -236,12 +257,17 @@ def random_schedules(config: AuditConfig, count: int, start_index: int = 0,
             activate = pick_time(10.0, horizon * 0.8)
             deactivate = (activate + rng.uniform(20.0, 200.0)
                           if rng.random() < 0.5 else None)
+            # The component draw is guarded so single-component
+            # campaigns (the paper shape) consume exactly the
+            # historical RNG stream.
+            comp = rng.randint(1, n_components) if n_components > 1 else 1
             software.append(SoftwareFaultSpec(activate_at=activate,
-                                              deactivate_at=deactivate))
+                                              deactivate_at=deactivate,
+                                              component=comp))
         crashes: List[CrashSpec] = []
         for _ in range(rng.randint(0, config.max_crashes)):
             crashes.append(CrashSpec(
-                node_id=rng.choice(SYSTEM_NODES),
+                node_id=rng.choice(nodes),
                 crash_at=pick_time(10.0, horizon * 0.9),
                 repair_time=rng.uniform(0.5, 5.0)))
         out.append(FaultSchedule(

@@ -28,26 +28,35 @@ TIMING_OVERRIDE_KEYS = ("clock_delta", "clock_rho", "tb_interval")
 
 @dataclasses.dataclass(frozen=True)
 class SoftwareFaultSpec:
-    """Activation (and optional deactivation) of the latent defect."""
+    """Activation (and optional deactivation) of the latent defect in
+    one guarded component (component 1 in the paper's shape)."""
 
     activate_at: float
     deactivate_at: Optional[float] = None
+    component: int = 1
 
     def plan(self) -> SoftwareFaultPlan:
         """The injectable plan."""
         return SoftwareFaultPlan(activate_at=self.activate_at,
-                                 deactivate_at=self.deactivate_at)
+                                 deactivate_at=self.deactivate_at,
+                                 component=self.component)
 
     def to_dict(self) -> Dict:
-        return {"activate_at": self.activate_at,
+        data = {"activate_at": self.activate_at,
                 "deactivate_at": self.deactivate_at}
+        if self.component != 1:
+            # Omitted at the default so pre-topology artifacts replay
+            # (and hash) identically.
+            data["component"] = self.component
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SoftwareFaultSpec":
         return cls(activate_at=float(data["activate_at"]),
                    deactivate_at=(float(data["deactivate_at"])
                                   if data.get("deactivate_at") is not None
-                                  else None))
+                                  else None),
+                   component=int(data.get("component", 1)))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,7 +143,8 @@ class FaultSchedule:
         for spec in self.software:
             window = (f"..{spec.deactivate_at:.2f}"
                       if spec.deactivate_at is not None else "")
-            parts.append(f"sw@{spec.activate_at:.2f}{window}")
+            comp = f"[c{spec.component}]" if spec.component != 1 else ""
+            parts.append(f"sw{comp}@{spec.activate_at:.2f}{window}")
         for spec in self.crashes:
             parts.append(f"crash:{spec.node_id}@{spec.crash_at:.2f}"
                          f"+{spec.repair_time:.1f}")

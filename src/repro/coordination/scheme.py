@@ -1,11 +1,13 @@
-"""System builder: complete three-process systems under each protocol
-scheme the paper discusses.
+"""System builder: complete systems under each protocol scheme the
+paper discusses, over any :class:`~repro.topology.model.Topology`.
 
-A :class:`System` instantiates the paper's architecture — three nodes
-hosting ``P1_act`` (low-confidence version), ``P1_sdw`` (high-confidence
-version of the same component, same workload stream) and ``P2`` (the
-second component) — and wires the protocol engines according to a
-:class:`Scheme`:
+A :class:`System` instantiates the paper's architecture — by default
+the three-process shape with ``P1_act`` (low-confidence version),
+``P1_sdw`` (high-confidence version of the same component, same
+workload stream) and ``P2`` (the second component), or any
+``--topology NxK`` membership of N guarded components with K shadows
+each plus unguarded peers — and wires the protocol engines according
+to a :class:`Scheme`:
 
 * ``MDCD_ONLY`` — original MDCD, volatile checkpoints only (no hardware
   fault tolerance): the Fig. 1 setting.
@@ -19,6 +21,16 @@ second component) — and wires the protocol engines according to a
 * ``COORDINATED_NO_SWAP`` — coordination with the mid-blocking content
   swap disabled (ablation; reproduces the Fig. 4(b) recoverability
   violation inside the otherwise-coordinated scheme).
+
+``Topology.paper()`` (the default) drives the builder through exactly
+the historical construction order — node creation, workload-stream RNG
+draws, process and acceptance-test instantiation — so every paper-shape
+run, and in particular the pinned Fig. 6 golden digests, is bit-for-bit
+identical to the pre-topology builder.  Non-paper topologies require a
+coordinated scheme: the topology engines generalize the modified MDCD
+algorithms with per-source provenance, and recovery runs through the
+:class:`~repro.topology.recovery.TopologyRecoveryManager` with a
+deterministic shadow election over the live group view.
 """
 
 from __future__ import annotations
@@ -56,6 +68,14 @@ from ..tb.blocking import TbConfig
 from ..tb.hardware_recovery import HardwareRecoveryCoordinator
 from ..tb.original import OriginalTbEngine
 from ..tb.resync import ResyncService
+from ..topology.engines import (
+    TopologyActiveEngine,
+    TopologyPeerEngine,
+    TopologyShadowEngine,
+)
+from ..topology.model import Member, MemberKind, Topology, parse_topology
+from ..topology.recovery import TopologyRecoveryManager
+from ..topology.view import GroupView
 from ..types import NodeId, ProcessId, Role
 from .write_through import WriteThroughEngine
 
@@ -121,6 +141,11 @@ class SystemConfig:
     #: Whether journals and message logs encode as deltas against the
     #: previous capture (full sections when off).
     incremental_snapshots: bool = True
+    #: Membership spec: ``"paper"`` (the exact three-process shape) or
+    #: ``"NxK"``/``"NxK+U"`` — N guarded components with K shadows each
+    #: plus U unguarded peers (default U = N).  Non-paper topologies
+    #: require a coordinated scheme.
+    topology: str = "paper"
 
     def with_scheme(self, scheme: Scheme) -> "SystemConfig":
         """Same configuration, different scheme — the paired-comparison
@@ -129,10 +154,17 @@ class SystemConfig:
 
 
 class System:
-    """A built, runnable three-process system."""
+    """A built, runnable system over a topology (paper shape by
+    default)."""
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self.topology = parse_topology(config.topology)
+        if not self.topology.is_paper and not config.scheme.uses_modified_mdcd:
+            raise ValueError(
+                f"non-paper topology {self.topology.spec!r} requires a "
+                "coordinated scheme: the topology engines generalize the "
+                "modified MDCD algorithms")
         self.sim = Simulator(pooling=config.event_pooling)
         self.rng = RngRegistry(config.seed)
         self.trace = TraceRecorder(enabled=config.trace_enabled,
@@ -146,37 +178,66 @@ class System:
                        volatile_codec=config.volatile_codec,
                        stable_codec=config.stable_codec,
                        stable_latency_per_kib=config.stable_latency_per_kib)
-            for name in ("N1a", "N1b", "N2")
+            for name in dict.fromkeys(self.topology.node_ids())
         }
 
-        actions1 = generate_actions(
-            dataclasses.replace(config.workload1, horizon=config.horizon),
-            self.rng, "component1")
-        actions2 = generate_actions(
-            dataclasses.replace(config.workload2, horizon=config.horizon),
-            self.rng, "component2")
+        # One action stream per distinct workload stream, generated in
+        # first-appearance member order — for the paper topology this is
+        # "component1" then "component2", the historical RNG draw order.
+        actions: Dict[str, list] = {}
+        for member in self.topology.members:
+            if member.stream in actions:
+                continue
+            workload = (config.workload2 if member.kind is MemberKind.PEER
+                        else config.workload1)
+            actions[member.stream] = generate_actions(
+                dataclasses.replace(workload, horizon=config.horizon),
+                self.rng, member.stream)
 
-        self.low_version = LowConfidenceVersion("component1-low")
+        self.low_versions: Dict[int, LowConfidenceVersion] = {
+            c: LowConfidenceVersion(f"component{c}-low")
+            for c in range(1, self.topology.n_components + 1)}
+        #: Component 1's low-confidence version (historical accessor).
+        self.low_version = self.low_versions[1]
+
         self.processes: Dict[Role, FtProcess] = {}
-        self._build_process(Role.ACTIVE_1, self.nodes["N1a"],
-                            ApplicationComponent("component1", self.low_version),
-                            WorkloadDriver(self.sim, actions1, "P1act"))
-        self._build_process(Role.SHADOW_1, self.nodes["N1b"],
-                            ApplicationComponent(
-                                "component1", HighConfidenceVersion("component1-high")),
-                            WorkloadDriver(self.sim, actions1, "P1sdw"))
-        self._build_process(Role.PEER_2, self.nodes["N2"],
-                            ApplicationComponent(
-                                "component2", HighConfidenceVersion("component2")),
-                            WorkloadDriver(self.sim, actions2, "P2"))
+        self.members: Dict[str, FtProcess] = {}
+        for member in self.topology.members:
+            if member.kind is MemberKind.ACTIVE:
+                component = ApplicationComponent(
+                    member.stream, self.low_versions[member.component])
+            elif member.kind is MemberKind.SHADOW:
+                component = ApplicationComponent(
+                    member.stream,
+                    HighConfidenceVersion(f"{member.stream}-high"))
+            else:
+                component = ApplicationComponent(
+                    member.stream, HighConfidenceVersion(member.stream))
+            self._build_process(member, component,
+                                WorkloadDriver(self.sim,
+                                               actions[member.stream],
+                                               member.driver))
 
         self.resync: Optional[ResyncService] = None
         self.hw_recovery: Optional[HardwareRecoveryCoordinator] = None
         self._wire_engines()
 
-        self.sw_recovery = SoftwareRecoveryManager(
-            active=self.active, shadow=self.shadow, peer=self.peer,
-            incarnation=self.incarnation, trace=self.trace)
+        if self.topology.is_paper:
+            # Inert bookkeeping view (no trace, no node listeners):
+            # the paper path must stay byte-identical.
+            self.view = GroupView(self.topology)
+            self.sw_recovery = SoftwareRecoveryManager(
+                active=self.active, shadow=self.shadow, peer=self.peer,
+                incarnation=self.incarnation, trace=self.trace)
+        else:
+            self.view = GroupView(self.topology, trace=self.trace,
+                                  clock=self.sim)
+            for node in self.nodes.values():
+                node.on_crash(self.view._on_node_crash)
+                node.on_restart(self.view._on_node_restart)
+            self.sw_recovery = TopologyRecoveryManager(
+                self.topology, self.view, self.members,
+                incarnation=self.incarnation, trace=self.trace)
         self.sw_recovery.install()
         self.injectors: List = []
         self._started = False
@@ -184,19 +245,30 @@ class System:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-    def _build_process(self, role: Role, node: Node,
+    def _build_process(self, member: Member,
                        component: ApplicationComponent,
                        driver: WorkloadDriver) -> None:
+        try:
+            role: Optional[Role] = Role(member.role_id)
+        except ValueError:
+            role = None
         process = FtProcess(
-            process_id=ProcessId(role.value), node=node, network=self.network,
+            process_id=ProcessId(member.role_id),
+            node=self.nodes[member.node_id], network=self.network,
             component=component, driver=driver, incarnation=self.incarnation,
             role=role, trace=self.trace)
+        process.is_guarded_active = member.kind is MemberKind.ACTIVE
         process.journal_retention = max(self.config.journal_retention,
                                         4.0 * self.config.tb.interval)
         process.snapshot_encoder.incremental = self.config.incremental_snapshots
-        self.processes[role] = process
+        self.members[member.role_id] = process
+        if role is not None:
+            self.processes[role] = process
 
     def _wire_engines(self) -> None:
+        if not self.topology.is_paper:
+            self._wire_topology_engines()
+            return
         config = self.config
         active, shadow, peer = self.active, self.shadow, self.peer
         at_active = AcceptanceTest(config.at, self.rng, "P1act")
@@ -254,34 +326,103 @@ class System:
                 list(self.processes.values()), self.incarnation, self.trace)
             self.hw_recovery.install()
 
+    def _wire_topology_engines(self) -> None:
+        """Wire the per-source-provenance engines over a non-paper
+        topology (always a coordinated scheme — checked at build).
+
+        Interaction shape: actives are pure ingress — they produce into
+        the peer mesh and receive no application traffic, so a guarded
+        pair's action streams never diverge when *another* component
+        recovers; peers exchange among themselves, which is where
+        multi-source contamination mixes and the per-source taint maps
+        earn their keep.
+        """
+        config = self.config
+        topo = self.topology
+        pids = {rid: self.members[rid].process_id for rid in topo.role_ids()}
+        peer_pids = [pids[p.role_id] for p in topo.peers()]
+        active_pids = [pids[a.role_id] for a in topo.actives()]
+
+        software: Dict[str, object] = {}
+        for member in topo.members:
+            proc = self.members[member.role_id]
+            if member.kind is MemberKind.ACTIVE:
+                at = AcceptanceTest(config.at, self.rng, member.driver)
+                software[member.role_id] = TopologyActiveEngine(
+                    proc, at,
+                    shadows=[pids[s.role_id]
+                             for s in topo.shadows_of(member.component)],
+                    peers=peer_pids)
+            elif member.kind is MemberKind.SHADOW:
+                software[member.role_id] = TopologyShadowEngine(
+                    proc,
+                    active_id=pids[topo.active_of(member.component).role_id],
+                    peers=peer_pids)
+            else:
+                at = AcceptanceTest(config.at, self.rng, member.driver)
+                software[member.role_id] = TopologyPeerEngine(
+                    proc, at, active_ids=active_pids,
+                    other_peers=[pid for pid in peer_pids
+                                 if pid != proc.process_id],
+                    notification_recipients=[pids[rid]
+                                             for rid in topo.role_ids()
+                                             if rid != member.role_id])
+            # Same piecewise-determinism argument as the paper path:
+            # coordinated schemes carry destination sequence numbers.
+            proc.replay_dedup = True
+
+        self.resync = ResyncService(
+            self.sim, [n.clock for n in self.nodes.values()], self.trace)
+        tb_config = config.tb
+        if config.scheme is Scheme.COORDINATED_NO_SWAP:
+            tb_config = dataclasses.replace(tb_config,
+                                            swap_on_confidence_change=False)
+        hw_engines: Dict[str, object] = {
+            rid: AdaptedTbEngine(proc, tb_config, config.clock,
+                                 config.network, resync=self.resync)
+            for rid, proc in self.members.items()}
+        for rid, proc in self.members.items():
+            proc.attach_engines(software=software[rid],
+                                hardware=hw_engines.get(rid))
+        self.hw_recovery = HardwareRecoveryCoordinator(
+            list(self.members.values()), self.incarnation, self.trace)
+        self.hw_recovery.install()
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
     def active(self) -> FtProcess:
-        """``P1_act``."""
+        """``P1_act`` (paper topology only)."""
         return self.processes[Role.ACTIVE_1]
 
     @property
     def shadow(self) -> FtProcess:
-        """``P1_sdw``."""
+        """``P1_sdw`` (paper topology only)."""
         return self.processes[Role.SHADOW_1]
 
     @property
     def peer(self) -> FtProcess:
-        """``P2``."""
+        """``P2`` (paper topology only)."""
         return self.processes[Role.PEER_2]
 
+    def member(self, role_id: str) -> FtProcess:
+        """The process serving a topology role id."""
+        return self.members[role_id]
+
     def process_list(self) -> List[FtProcess]:
-        """All processes, in role order."""
-        return [self.active, self.shadow, self.peer]
+        """All processes, in topology member order."""
+        return [self.members[rid] for rid in self.topology.role_ids()]
 
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
     def inject_software_fault(self, plan: SoftwareFaultPlan) -> SoftwareFaultInjector:
-        """Arm a software design fault in the low-confidence version."""
-        injector = SoftwareFaultInjector(self.sim, self.low_version, plan, self.trace)
+        """Arm a software design fault in the targeted component's
+        low-confidence version (component 1 unless the plan says
+        otherwise)."""
+        version = self.low_versions[getattr(plan, "component", 1)]
+        injector = SoftwareFaultInjector(self.sim, version, plan, self.trace)
         injector.arm()
         self.injectors.append(injector)
         return injector

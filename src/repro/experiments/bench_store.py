@@ -1,0 +1,103 @@
+"""Accumulating perf-trajectory documents for the bench recorders.
+
+``BENCH_kernel.json`` and ``BENCH_warmstart.json`` share one on-disk
+shape::
+
+    {"bench": <name>, "latest": <full record>, "trajectory": [entry...]}
+
+``latest`` is the complete most-recent record; ``trajectory`` holds one
+compact per-run entry (each recorder defines its own) so the committed
+artifact accumulates a performance history instead of forgetting every
+run but the last.  Legacy single-record files are migrated in place:
+the bare record becomes ``latest`` and seeds the trajectory with one
+entry stamped from the file's mtime — no re-run needed.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from typing import Any, Callable, Dict, Optional
+
+#: Builds a compact trajectory entry from a full record; must accept a
+#: ``recorded_at`` keyword for mtime-stamped legacy migration.
+EntryFn = Callable[..., Dict[str, Any]]
+
+
+def utc_stamp(moment: Optional[datetime.datetime] = None) -> str:
+    """ISO-8601 UTC second-resolution stamp (now, unless given)."""
+    if moment is None:
+        moment = datetime.datetime.now(datetime.timezone.utc)
+    return moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def file_stamp(path: str) -> str:
+    """The file's mtime as a :func:`utc_stamp` — the best available
+    guess at when a legacy record was actually benched."""
+    mtime = datetime.datetime.fromtimestamp(os.path.getmtime(path),
+                                            datetime.timezone.utc)
+    return utc_stamp(mtime)
+
+
+def _load(path: str) -> Any:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _dump(document: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def write_record(record: Dict[str, Any], path: str, *, bench: str,
+                 entry: EntryFn, legacy_marker: str) -> None:
+    """Append ``record`` to the perf trajectory at ``path``.
+
+    An existing trajectory document keeps its history; a legacy bare
+    record (recognized by ``legacy_marker`` among its keys) becomes the
+    first trajectory entry, stamped with the file's mtime.
+    """
+    document: Dict[str, Any] = {"bench": bench, "latest": record,
+                                "trajectory": []}
+    existing = _load(path)
+    if isinstance(existing, dict):
+        if isinstance(existing.get("trajectory"), list):
+            document["trajectory"] = list(existing["trajectory"])
+        elif legacy_marker in existing:
+            document["trajectory"] = [
+                entry(existing, recorded_at=file_stamp(path))]
+    document["trajectory"].append(entry(record))
+    _dump(document, path)
+
+
+def read_latest(path: str, *, legacy_marker: str) -> Optional[Dict[str, Any]]:
+    """The most recent full record at ``path`` (handles both the
+    trajectory document and a legacy bare record); ``None`` if absent
+    or unreadable."""
+    existing = _load(path)
+    if not isinstance(existing, dict):
+        return None
+    if "latest" in existing:
+        return existing["latest"]
+    return existing if legacy_marker in existing else None
+
+
+def migrate_legacy(path: str, *, bench: str, entry: EntryFn,
+                   legacy_marker: str) -> bool:
+    """Rewrite a legacy bare-record file into the trajectory format in
+    place — no bench re-run; the old record becomes ``latest`` and the
+    sole (mtime-stamped) trajectory entry.  Returns whether anything
+    was migrated (``False`` for missing, unreadable, or already
+    migrated files)."""
+    existing = _load(path)
+    if (not isinstance(existing, dict) or "latest" in existing
+            or legacy_marker not in existing):
+        return False
+    stamp = file_stamp(path)
+    _dump({"bench": bench, "latest": existing,
+           "trajectory": [entry(existing, recorded_at=stamp)]}, path)
+    return True

@@ -33,7 +33,6 @@ import dataclasses
 import functools
 import heapq
 import itertools
-import json
 import random
 import sys
 import time
@@ -41,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..coordination.scheme import Scheme, build_system
 from ..sim.kernel import Simulator
+from . import bench_store
 from .runner import run_campaign
 
 #: Fig. 7 bench point (matches benchmarks/bench_checkpoint_cost.py).
@@ -351,8 +351,43 @@ def format_record(record: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def trajectory_entry(record: Dict[str, Any],
+                     recorded_at: Optional[str] = None) -> Dict[str, Any]:
+    """The compact per-run summary kept in the trajectory: enough to
+    plot kernel throughput over time, small enough to accumulate
+    forever."""
+    if recorded_at is None:
+        recorded_at = bench_store.utc_stamp()
+    entry: Dict[str, Any] = {
+        "recorded_at": recorded_at,
+        "python": record.get("python"),
+        "campaign_best_wall_seconds":
+            record.get("campaign", {}).get("best_wall_seconds"),
+        "determinism": record.get("determinism", {}).get("all"),
+    }
+    for name, bench in sorted(record.get("microbench", {}).items()):
+        kernels = bench.get("kernels", {})
+        entry[f"{name}_events_per_sec"] = \
+            kernels.get("current", {}).get("events_per_sec")
+        entry[f"{name}_speedup_current"] = \
+            bench.get("speedup_current_vs_legacy")
+        entry[f"{name}_speedup_pooled"] = \
+            bench.get("speedup_pooled_vs_legacy")
+    return entry
+
+
 def write_record(record: Dict[str, Any], path: str) -> None:
-    """Write the record as pretty JSON (the CI artifact / committed
-    ``BENCH_kernel.json``)."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    """Append the record to the perf trajectory at ``path`` (the CI
+    artifact / committed ``BENCH_kernel.json``): the shared
+    ``{"bench", "latest", "trajectory"}`` document, with in-place
+    migration of legacy single-record files."""
+    bench_store.write_record(record, path, bench="kernel",
+                             entry=trajectory_entry,
+                             legacy_marker="microbench")
+
+
+def read_latest(path: str) -> Optional[Dict[str, Any]]:
+    """The most recent full record at ``path`` (handles both the
+    trajectory document and a legacy bare record); ``None`` if absent
+    or unreadable."""
+    return bench_store.read_latest(path, legacy_marker="microbench")

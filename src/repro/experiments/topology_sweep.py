@@ -1,0 +1,156 @@
+"""Overhead versus system size: the coordinated scheme over growing
+topologies.
+
+The paper measures its three-process shape; the topology layer makes
+the membership a parameter, so the natural follow-up question is how
+the coordination's cost *scales*: more guarded components mean more
+independent acceptance-test/validation traffic, more shadows mean more
+suppressed logs and wider "passed AT" fan-out, more peers a denser
+mesh.  This harness runs the identical fault-free workload profile over
+a sweep of topologies (by default the paper's 3 processes, a 9-process
+``2x2+3`` and a 25-process ``4x4+5``) and reports the cost profile both
+in aggregate and normalized per process — the per-process columns are
+the scaling story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import time
+from typing import Dict, List, Optional
+
+from ..app.workload import WorkloadConfig
+from ..coordination.scheme import Scheme, SystemConfig, build_system
+from ..tb.blocking import TbConfig
+from ..topology.model import parse_topology
+from .reporting import format_table
+
+#: The default sweep: N ∈ {3, 9, 25} OS-process-equivalents.
+DEFAULT_TOPOLOGIES = ("paper", "2x2+3", "4x4+5")
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySweepConfig:
+    """Identical workload profile applied to every topology."""
+
+    seed: int = 33
+    horizon: float = 4_000.0
+    tb_interval: float = 30.0
+    internal_rate: float = 0.1
+    external_rate: float = 0.02
+    topologies: tuple = DEFAULT_TOPOLOGIES
+
+
+@dataclasses.dataclass
+class TopologyObservation:
+    """Measured cost profile of one topology."""
+
+    topology: str
+    processes: int
+    components: int
+    shadows: int
+    peers: int
+    blocked_time_fraction: float
+    stable_kb_per_hour: float
+    volatile_kb_per_hour: float
+    notifications_per_app_message: float
+    at_runs: int
+    establish_epochs: int
+    #: Per-process normalizations — the scaling columns.
+    stable_kb_per_hour_per_process: float
+    notifications_per_process: float
+    wall_seconds: float
+
+    def as_row(self) -> List:
+        return [
+            self.topology,
+            self.processes,
+            f"{self.components}x{self.shadows}+{self.peers}",
+            f"{self.blocked_time_fraction * 100:.3f}%",
+            f"{self.stable_kb_per_hour:.1f}",
+            f"{self.volatile_kb_per_hour:.1f}",
+            f"{self.notifications_per_app_message:.3f}",
+            self.at_runs,
+            f"{self.stable_kb_per_hour_per_process:.1f}",
+            f"{self.notifications_per_process:.1f}",
+            f"{self.wall_seconds:.2f}s",
+        ]
+
+
+def measure_topology(config: TopologySweepConfig,
+                     spec: str) -> TopologyObservation:
+    """Run the coordinated scheme on one topology and profile it."""
+    topo = parse_topology(spec)
+    horizon = config.horizon
+    started = time.perf_counter()
+    system = build_system(SystemConfig(
+        scheme=Scheme.COORDINATED, seed=config.seed, horizon=horizon,
+        tb=TbConfig(interval=config.tb_interval),
+        workload1=WorkloadConfig(internal_rate=config.internal_rate,
+                                 external_rate=config.external_rate,
+                                 step_rate=0.02, horizon=horizon),
+        workload2=WorkloadConfig(internal_rate=config.internal_rate / 2.0,
+                                 external_rate=config.external_rate,
+                                 step_rate=0.02, horizon=horizon),
+        trace_categories=("blocking.start", "tb.establish.done"),
+        topology=spec))
+    system.run()
+    wall = time.perf_counter() - started
+
+    processes = system.process_list()
+    blocked_time = sum(rec.data["length"]
+                       for rec in system.trace.records("blocking.start"))
+    establishments = len(list(system.trace.records("tb.establish.done")))
+    stable_bytes = sum(p.node.stable.bytes_written for p in processes)
+    volatile_bytes = sum(p.node.volatile.bytes_written for p in processes)
+    app_messages = sum(p.counters.get("sent.internal")
+                       + p.counters.get("sent.external") for p in processes)
+    notifications = sum(p.counters.get("sent.passed_at") for p in processes)
+    at_runs = sum(p.counters.get("at.pass") + p.counters.get("at.fail")
+                  for p in processes)
+    hours = horizon / 3600.0
+    n = len(processes)
+    return TopologyObservation(
+        topology=topo.spec,
+        processes=n,
+        components=topo.n_components,
+        shadows=topo.n_shadows,
+        peers=topo.n_peers,
+        blocked_time_fraction=blocked_time / (horizon * n),
+        stable_kb_per_hour=stable_bytes / 1024.0 / hours,
+        volatile_kb_per_hour=volatile_bytes / 1024.0 / hours,
+        notifications_per_app_message=(notifications / app_messages
+                                       if app_messages else 0.0),
+        at_runs=at_runs,
+        establish_epochs=establishments,
+        stable_kb_per_hour_per_process=stable_bytes / 1024.0 / hours / n,
+        notifications_per_process=notifications / n,
+        wall_seconds=wall)
+
+
+def _measure_spec(config: TopologySweepConfig, spec: str) -> TopologyObservation:
+    """Module-level cell runner so worker processes can receive it."""
+    return measure_topology(config, spec)
+
+
+def run_topology_sweep(config: TopologySweepConfig = TopologySweepConfig(), *,
+                       workers: Optional[int] = None
+                       ) -> Dict[str, TopologyObservation]:
+    """Profile every topology of the sweep on the identical workload."""
+    from ..parallel.pool import parallel_map
+    observations = parallel_map(functools.partial(_measure_spec, config),
+                                list(config.topologies), workers=workers)
+    return {obs.topology: obs for obs in observations}
+
+
+def format_topology_sweep(observations: Dict[str, TopologyObservation]) -> str:
+    """Render the overhead-vs-N table (sorted by system size)."""
+    ordered = sorted(observations.values(), key=lambda o: o.processes)
+    return format_table(
+        ["topology", "procs", "NxK+U", "blocked time", "stable KiB/h",
+         "vol KiB/h", "notif/app-msg", "AT runs", "stable KiB/h/proc",
+         "notif/proc", "wall"],
+        [obs.as_row() for obs in ordered],
+        title="Coordinated-scheme overhead vs. topology size "
+              "(identical fault-free workload)")

@@ -35,9 +35,7 @@ the horizon anyway.
 
 from __future__ import annotations
 
-import datetime
 import json
-import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -61,6 +59,7 @@ from ..warmstart import (
     divergence_time,
     share_schedule_seeds,
 )
+from . import bench_store
 
 #: The bench campaign: the naive scheme (it has real violations to
 #: find and shrink) over a long horizon, shared-seed boundary schedules.
@@ -328,8 +327,7 @@ def trajectory_entry(record: Dict[str, Any],
     campaign = record.get("campaign", {})
     shrink = record.get("shrink", {})
     if recorded_at is None:
-        recorded_at = datetime.datetime.now(datetime.timezone.utc) \
-            .strftime("%Y-%m-%dT%H:%M:%SZ")
+        recorded_at = bench_store.utc_stamp()
     return {
         "recorded_at": recorded_at,
         "python": record.get("python"),
@@ -352,38 +350,13 @@ def write_record(record: Dict[str, Any], path: str) -> None:
     migrated in place (its record becomes the first trajectory entry,
     stamped with the file's mtime).
     """
-    document: Dict[str, Any] = {"bench": "warmstart", "latest": record,
-                                "trajectory": []}
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                existing = json.load(fh)
-        except ValueError:
-            existing = None
-        if isinstance(existing, dict):
-            if isinstance(existing.get("trajectory"), list):
-                document["trajectory"] = list(existing["trajectory"])
-            elif "campaign" in existing:  # legacy bare record
-                mtime = datetime.datetime.fromtimestamp(
-                    os.path.getmtime(path), datetime.timezone.utc)
-                document["trajectory"] = [trajectory_entry(
-                    existing, recorded_at=mtime.strftime("%Y-%m-%dT%H:%M:%SZ"))]
-    document["trajectory"].append(trajectory_entry(record))
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    bench_store.write_record(record, path, bench="warmstart",
+                             entry=trajectory_entry,
+                             legacy_marker="campaign")
 
 
 def read_latest(path: str) -> Optional[Dict[str, Any]]:
     """The most recent full record at ``path`` (handles both the
     trajectory document and a legacy bare record); ``None`` if absent
     or unreadable."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            existing = json.load(fh)
-    except (OSError, ValueError):
-        return None
-    if not isinstance(existing, dict):
-        return None
-    if "latest" in existing:
-        return existing["latest"]
-    return existing if "campaign" in existing else None
+    return bench_store.read_latest(path, legacy_marker="campaign")

@@ -105,6 +105,11 @@ class FtProcess(SimProcess):
                  trace: Optional[TraceRecorder] = None) -> None:
         super().__init__(process_id, node, network, trace)
         self.role = role
+        #: Whether this process is a guarded component's low-confidence
+        #: active — the adapted TB then consults the pseudo dirty bit.
+        #: Derived from the paper role here; topology builders set it
+        #: for actives outside the three-process model.
+        self.is_guarded_active = role is Role.ACTIVE_1
         self.component = component
         self.driver = driver
         self.incarnation = incarnation
@@ -179,9 +184,9 @@ class FtProcess(SimProcess):
 
     def confidence_bit(self) -> int:
         """The bit the adapted TB protocol consults at timer expiry:
-        ``pseudo_dirty_bit`` for ``P1_act`` (paper footnote 2), the
-        dirty bit for everyone else."""
-        if self.role is Role.ACTIVE_1:
+        ``pseudo_dirty_bit`` for a guarded active (paper footnote 2),
+        the dirty bit for everyone else."""
+        if self.is_guarded_active:
             return self.mdcd.pseudo_dirty_bit
         return self.mdcd.dirty_bit
 
@@ -238,14 +243,16 @@ class FtProcess(SimProcess):
     def send_internal(self, payload: Payload, receivers: List[ProcessId],
                       sn: Optional[int], dirty_bit: int, validated: bool,
                       ndc: Optional[int] = None,
-                      taint_sn: Optional[int] = None) -> List[Message]:
+                      taint_sn: Optional[int] = None,
+                      taint_map: Optional[Dict[str, int]] = None) -> List[Message]:
         """Send an internal application message to each receiver.
 
         One logical send fans out to one :class:`Message` per receiver
         (each tracked separately for acknowledgement).  The sender's
         journal records its validity view at send time: messages sent
         from a clean state are born validated.  ``taint_sn`` piggybacks
-        contamination provenance (generalized protocol only).
+        contamination provenance (generalized protocol); ``taint_map``
+        is its per-source form (N-component topologies).
         """
         sent = []
         for receiver in receivers:
@@ -256,6 +263,7 @@ class FtProcess(SimProcess):
             message = Message(kind=MessageKind.INTERNAL, sender=self.process_id,
                               receiver=receiver, payload=payload, sn=sn,
                               ndc=ndc, dirty_bit=dirty_bit, taint_sn=taint_sn,
+                              taint_map=dict(taint_map) if taint_map else None,
                               dsn=dsn, corrupt=payload.corrupt,
                               incarnation=self.incarnation.value)
             self.journal_sent.add(message, validated=validated, time=self.sim.now)
@@ -283,11 +291,14 @@ class FtProcess(SimProcess):
         return message
 
     def send_passed_at(self, receivers: List[ProcessId], msg_sn: Optional[int],
-                       ndc: Optional[int]) -> List[Message]:
-        """Broadcast a "passed AT" notification."""
+                       ndc: Optional[int],
+                       bound_map: Optional[Dict[str, int]] = None) -> List[Message]:
+        """Broadcast a "passed AT" notification.  ``bound_map`` carries
+        the per-source certified bounds in N-component topologies."""
         sent = []
         for receiver in receivers:
-            message = passed_at_notification(self.process_id, receiver, msg_sn, ndc)
+            message = passed_at_notification(self.process_id, receiver, msg_sn, ndc,
+                                             bound_map=bound_map)
             message.incarnation = self.incarnation.value
             self.transmit(message)
             sent.append(message)

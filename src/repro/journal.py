@@ -54,6 +54,10 @@ class JournalRecord:
     #: sequence number influencing the message; ``None`` when untainted
     #: or untracked.
     taint_sn: Optional[int] = None
+    #: Per-source provenance (N-component topologies): guarded active
+    #: role id -> highest influencing sequence number of that active.
+    #: ``None`` when untainted or untracked.
+    taint_map: Optional[dict] = None
     #: Destination sequence number (generalized protocol); ``None`` in
     #: the three-process protocols.  A record with a ``dsn`` is
     #: replay-protected: a rolled-back sender regenerates it
@@ -101,6 +105,7 @@ class Journal:
             corrupt=message.corrupt,
             time=time,
             taint_sn=message.taint_sn,
+            taint_map=dict(message.taint_map) if message.taint_map else None,
             dsn=message.dsn,
         )
         self._records[key] = record

@@ -4,9 +4,14 @@
 :class:`~repro.host.FtProcess` — wired with the same engines, RNG
 streams, and configuration the sim backend's ``COORDINATED`` scheme
 uses — on the live adapters: wall clock, TCP transport, file-backed
-stable storage.  The harness drives it over a line-JSON control channel
-on stdin/stdout (commands below); peer traffic arrives on the listening
-socket; protocol decisions stream to a JSONL artifact via the shared
+stable storage.  The spec names a topology member; the paper shape
+gets the historical ``Modified*`` engines, any other topology the
+per-source-provenance engines from :mod:`repro.topology.engines` —
+exactly mirroring :class:`~repro.coordination.scheme.System`'s wiring
+so the two backends stay decision-equivalent.  The harness drives it
+over a line-JSON control channel on stdin/stdout (commands below);
+peer traffic arrives on the listening socket; protocol decisions
+stream to a JSONL artifact via the shared
 :mod:`repro.runtime.decisions` normalizer.
 
 Control commands::
@@ -53,19 +58,16 @@ from ..runtime.script import SCRIPT_ACTION_BASE, _ACTION_KINDS
 from ..tb.adapted import AdaptedTbEngine
 from ..tb.blocking import TbConfig
 from ..tb.resync import ResyncService
+from ..topology.engines import (TopologyActiveEngine, TopologyPeerEngine,
+                                TopologyShadowEngine)
+from ..topology.model import MemberKind, parse_topology
 from ..types import NodeId, ProcessId, Role
 from .clock import WallClock
-from .failover import peer_adopt_takeover, shadow_takeover
+from .failover import drop_recipient, peer_adopt_takeover, shadow_takeover
 from .loop import LiveScheduler
 from .node import LiveNode
 from .storage import FileStableStore
 from .transport import LiveTransport
-
-_ROLE_STREAMS = {
-    Role.ACTIVE_1: ("component1", "P1act"),
-    Role.SHADOW_1: ("component1", "P1sdw"),
-    Role.PEER_2: ("component2", "P2"),
-}
 
 #: Near-zero Poisson rate (mirrors the sim backend's scripted config).
 _IDLE_RATE = 1e-12
@@ -76,8 +78,11 @@ class LiveAgent:
 
     def __init__(self, spec: Dict[str, Any]) -> None:
         self.spec = spec
-        self.role = Role(spec["role"])
-        self.process_id = ProcessId(self.role.value)
+        self.topology = parse_topology(spec.get("topology", "paper"))
+        self.member = self.topology.member(spec["role"])
+        self.role: Optional[Role] = (Role(self.member.role_id)
+                                     if self.topology.is_paper else None)
+        self.process_id = ProcessId(self.member.role_id)
         self.seed = int(spec.get("seed", 0))
         self.tb_interval = float(spec.get("tb_interval", 10_000.0))
         self.horizon = float(spec.get("horizon", 1_000.0))
@@ -109,6 +114,13 @@ class LiveAgent:
         self.trace = TraceRecorder(enabled=True)
         self._decision_file = open(spec["trace_path"], "a", encoding="utf-8")
         self.trace.subscribe(self._on_trace_record)
+        debug_dir = os.environ.get("REPRO_LIVE_TRACE_DIR")
+        self._debug_file = None
+        if debug_dir:
+            self._debug_file = open(
+                os.path.join(debug_dir, f"trace_{self.process_id}.jsonl"),
+                "a", encoding="utf-8")
+            self.trace.subscribe(self._on_debug_record)
 
         self.process = self._build_process()
         self._wire_engines()
@@ -117,12 +129,7 @@ class LiveAgent:
         # engines in memory, a fresh OS process re-applies the exclusion
         # from its spec.
         for dead in spec.get("deposed", []):
-            dead_id = ProcessId(str(dead))
-            recipients = getattr(self.process.software,
-                                 "component1_recipients", None)
-            if recipients is not None:
-                self.process.software.component1_recipients = [
-                    pid for pid in recipients if pid != dead_id]
+            drop_recipient(self.process.software, ProcessId(str(dead)))
             self.transport.drop_peer(str(dead))
 
         self._hb = spec.get("heartbeat") or None
@@ -139,24 +146,26 @@ class LiveAgent:
     # construction (mirrors coordination.scheme for COORDINATED)
     # ------------------------------------------------------------------
     def _build_process(self) -> FtProcess:
-        stream, driver_name = _ROLE_STREAMS[self.role]
+        stream, driver_name = self.member.stream, self.member.driver
         idle = WorkloadConfig(internal_rate=_IDLE_RATE, external_rate=_IDLE_RATE,
                               step_rate=_IDLE_RATE, horizon=self.horizon)
         actions = generate_actions(idle, self.rng, stream)
-        if self.role is Role.ACTIVE_1:
+        if self.member.kind is MemberKind.ACTIVE:
             component = ApplicationComponent(
-                "component1", LowConfidenceVersion("component1-low"))
-        elif self.role is Role.SHADOW_1:
+                stream,
+                LowConfidenceVersion(f"component{self.member.component}-low"))
+        elif self.member.kind is MemberKind.SHADOW:
             component = ApplicationComponent(
-                "component1", HighConfidenceVersion("component1-high"))
+                stream, HighConfidenceVersion(f"{stream}-high"))
         else:
             component = ApplicationComponent(
-                "component2", HighConfidenceVersion("component2"))
+                stream, HighConfidenceVersion(stream))
         driver = WorkloadDriver(self.scheduler, actions, driver_name)
         process = FtProcess(
             process_id=self.process_id, node=self.node, network=self.transport,
             component=component, driver=driver, incarnation=self.incarnation,
             role=self.role, trace=self.trace)
+        process.is_guarded_active = self.member.kind is MemberKind.ACTIVE
         process.journal_retention = max(600.0, 4.0 * self.tb_interval)
         return process
 
@@ -164,13 +173,13 @@ class LiveAgent:
         process = self.process
         at_config = AcceptanceTestConfig(
             **(self.spec.get("at") or {}))
-        _, at_name = _ROLE_STREAMS[self.role]
-        shadow_id = ProcessId(Role.SHADOW_1.value)
-        peer_id = ProcessId(Role.PEER_2.value)
-        if self.role is Role.ACTIVE_1:
+        if not self.topology.is_paper:
+            software = self._topology_engine(at_config)
+        elif self.role is Role.ACTIVE_1:
             software = ModifiedActiveEngine(
                 process, AcceptanceTest(at_config, self.rng, "P1act"),
-                peer=peer_id, shadow=shadow_id)
+                peer=ProcessId(Role.PEER_2.value),
+                shadow=ProcessId(Role.SHADOW_1.value))
         elif self.role is Role.SHADOW_1:
             software = ModifiedShadowEngine(process)
         else:
@@ -183,6 +192,33 @@ class LiveAgent:
             ClockConfig(), NetworkConfig(), resync=resync)
         process.attach_engines(software=software, hardware=hardware)
 
+    def _topology_engine(self, at_config: AcceptanceTestConfig):
+        """The per-source-provenance engine for this member — the same
+        wiring :meth:`System._wire_topology_engines` performs in the
+        sim's single address space."""
+        topo, member, process = self.topology, self.member, self.process
+        peer_pids = [ProcessId(p.role_id) for p in topo.peers()]
+        active_pids = [ProcessId(a.role_id) for a in topo.actives()]
+        if member.kind is MemberKind.ACTIVE:
+            return TopologyActiveEngine(
+                process, AcceptanceTest(at_config, self.rng, member.driver),
+                shadows=[ProcessId(s.role_id)
+                         for s in topo.shadows_of(member.component)],
+                peers=peer_pids)
+        if member.kind is MemberKind.SHADOW:
+            return TopologyShadowEngine(
+                process,
+                active_id=ProcessId(topo.active_of(member.component).role_id),
+                peers=peer_pids)
+        return TopologyPeerEngine(
+            process, AcceptanceTest(at_config, self.rng, member.driver),
+            active_ids=active_pids,
+            other_peers=[pid for pid in peer_pids
+                         if pid != process.process_id],
+            notification_recipients=[ProcessId(rid)
+                                     for rid in topo.role_ids()
+                                     if rid != member.role_id])
+
     # ------------------------------------------------------------------
     # decision artifact
     # ------------------------------------------------------------------
@@ -192,6 +228,16 @@ class LiveAgent:
             return
         self._decision_file.write(json.dumps(decision, sort_keys=True) + "\n")
         self._decision_file.flush()
+
+    def _on_debug_record(self, record) -> None:
+        """Raw-trace diagnostics (``REPRO_LIVE_TRACE_DIR``): every trace
+        record, not just normalized decisions."""
+        self._debug_file.write(json.dumps(
+            {"t": record.time, "category": record.category,
+             "process": None if record.process is None else str(record.process),
+             "data": {k: repr(v) for k, v in record.data.items()}},
+            sort_keys=True) + "\n")
+        self._debug_file.flush()
 
     # ------------------------------------------------------------------
     # control channel
@@ -270,7 +316,7 @@ class LiveAgent:
     def _cmd_status(self, _command: Dict[str, Any]) -> Dict[str, Any]:
         process = self.process
         return {
-            "role": self.role.value,
+            "role": self.member.role_id,
             "incarnation": self.incarnation.value,
             "deposed": process.deposed,
             "guarded": process.mdcd.guarded,
@@ -351,24 +397,27 @@ class LiveAgent:
         if self.scheduler.now - last < timeout:
             return
         condemned, self._watch = self._watch, None
-        if self.role is Role.SHADOW_1 and not self.takeover_summary:
+        if (self.member.kind is MemberKind.SHADOW
+                and not self.takeover_summary):
             self._run_takeover(condemned)
 
     def _run_takeover(self, condemned: str) -> None:
         active_id = ProcessId(condemned)
-        peer_id = ProcessId(Role.PEER_2.value)
+        peer_ids = [ProcessId(p.role_id) for p in self.topology.peers()]
         self.transport.drop_peer(condemned)
         self.takeover_summary = shadow_takeover(
-            self.process, active_id, peer_id, self.incarnation)
-        self.transport.send_control(str(peer_id), {
-            "type": "takeover", "active": condemned,
-            "incarnation": self.incarnation.value})
+            self.process, active_id, peer_ids[0], self.incarnation,
+            peer_ids=None if self.topology.is_paper else peer_ids)
+        for peer_id in peer_ids:
+            self.transport.send_control(str(peer_id), {
+                "type": "takeover", "active": condemned,
+                "incarnation": self.incarnation.value})
 
     def _on_control(self, payload: Dict[str, Any]) -> None:
         if payload.get("type") != "takeover":
             return
         active = str(payload.get("active", ""))
-        if self.role is Role.PEER_2:
+        if self.member.kind is MemberKind.PEER:
             summary = peer_adopt_takeover(
                 self.process, ProcessId(active), self.incarnation,
                 int(payload.get("incarnation", 0)))

@@ -26,11 +26,12 @@ predicts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..errors import RecoveryError
 from ..host import FtProcess
 from ..mdcd.recovery import TakeoverEngine
+from ..topology.engines import TopologyTakeoverEngine
 from ..types import MessageKind, ProcessId, RecoveryAction
 
 
@@ -67,11 +68,32 @@ def _resend_unacknowledged(process: FtProcess, deposed: ProcessId) -> int:
     return resent
 
 
+def drop_recipient(engine, dead_id: ProcessId) -> None:
+    """Stop ``engine`` addressing ``dead_id``: covers the paper-shape
+    recipient list and every topology-engine recipient collection."""
+    recipients = getattr(engine, "component1_recipients", None)
+    if recipients is not None:
+        engine.component1_recipients = [
+            pid for pid in recipients if pid != dead_id]
+    for attr in ("shadows", "peers", "other_peers", "notification_recipients"):
+        pids = getattr(engine, attr, None)
+        if isinstance(pids, list):
+            setattr(engine, attr, [pid for pid in pids if pid != dead_id])
+
+
 def shadow_takeover(shadow: FtProcess, active_id: ProcessId,
                     peer_id: ProcessId, incarnation,
-                    reason: str = "heartbeat-timeout") -> Dict[str, object]:
+                    reason: str = "heartbeat-timeout",
+                    peer_ids: Optional[List[ProcessId]] = None
+                    ) -> Dict[str, object]:
     """Promote the shadow after its failure detector condemns the
-    active.  Returns a summary for the harness/decision artifact."""
+    active.  Returns a summary for the harness/decision artifact.
+
+    ``peer_ids`` switches the promoted shadow onto the topology
+    takeover engine (stimulus-routed sends into the peer mesh); left
+    ``None``, the paper-shape :class:`TakeoverEngine` addressing the
+    single peer is used.
+    """
     trace = shadow.trace
     trace.record(shadow.sim.now, "recovery.software.start",
                  shadow.process_id, failed=reason)
@@ -92,7 +114,10 @@ def shadow_takeover(shadow: FtProcess, active_id: ProcessId,
                                  sn=message.sn, dirty_bit=0, validated=True,
                                  ndc=shadow.current_ndc())
     shadow.msg_log.clear()
-    shadow.software = TakeoverEngine(shadow, peer=peer_id)
+    if peer_ids is not None:
+        shadow.software = TopologyTakeoverEngine(shadow, list(peer_ids))
+    else:
+        shadow.software = TakeoverEngine(shadow, peer=peer_id)
     shadow.mdcd.guarded = False
     shadow.driver.resume()
     resent = _resend_unacknowledged(shadow, active_id)
@@ -117,11 +142,7 @@ def peer_adopt_takeover(peer: FtProcess, active_id: ProcessId,
         return None
     incarnation.value = new_incarnation
     decision = _local_decision(peer)
-    engine = peer.software
-    recipients = getattr(engine, "component1_recipients", None)
-    if recipients is not None:
-        engine.component1_recipients = [
-            pid for pid in recipients if pid != active_id]
+    drop_recipient(peer.software, active_id)
     peer.mdcd.guarded = False
     resent = _resend_unacknowledged(peer, active_id)
     peer.trace.record(peer.sim.now, "recovery.takeover.adopted",

@@ -1,9 +1,10 @@
 """Multi-process orchestration for the live backend.
 
 The harness launches one :mod:`repro.live.agent` OS process per
-protocol role (``P1_act``/``P1_sdw``/``P2``), wires them to each other
-over localhost TCP, and drives them through their stdin/stdout control
-channels.  It plays two parts:
+topology member (three for ``Topology.paper()``, one per active,
+shadow and peer generally), wires them to each other over localhost
+TCP, and drives them through their stdin/stdout control channels.  It
+plays two parts:
 
 * **Oracle runs** (:meth:`LiveHarness.run_script`): execute a
   :class:`~repro.runtime.script.WorkloadScript` under the same
@@ -16,9 +17,10 @@ channels.  It plays two parts:
   the shape :func:`~repro.runtime.decisions.decisions_from_trace`
   produces, so the two backends diff directly.
 * **Failure demos** (:meth:`LiveHarness.run_demo`): heartbeats on,
-  short real TB intervals, scripted ``kill -9`` of the *active*;
-  asserts the shadow takes over on its own failure detector, then
-  kills and recovers the peer from its file-backed stable storage.
+  short real TB intervals, scripted ``kill -9`` of a component's
+  *active*; asserts the elected shadow takes over on its own failure
+  detector, then kills and recovers a peer from its file-backed stable
+  storage.
 """
 
 from __future__ import annotations
@@ -36,12 +38,16 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..errors import ReproError
+from ..topology.election import elect_successor
+from ..topology.model import MemberKind, Topology, parse_topology
 from ..types import Role
 
-#: Role application/recovery order — matches SimBackend._apply.
+#: Paper-shape member application/recovery order (kept for callers that
+#: still think in the three historical roles).
 ROLE_ORDER = (Role.ACTIVE_1, Role.SHADOW_1, Role.PEER_2)
 
-#: The scheme's node names (scripts name nodes, agents are per-role).
+#: Paper-shape node-to-role map (scripts name nodes, agents are
+#: per-member).
 NODE_ROLES = {"N1a": Role.ACTIVE_1, "N1b": Role.SHADOW_1, "N2": Role.PEER_2}
 
 
@@ -61,8 +67,9 @@ def _free_port() -> int:
 class AgentHandle:
     """One spawned agent process and its control channel."""
 
-    def __init__(self, role: Role, spec: Dict[str, Any], log_path: str) -> None:
-        self.role = role
+    def __init__(self, member: str, spec: Dict[str, Any],
+                 log_path: str) -> None:
+        self.member = member
         self.spec = spec
         self.log = open(log_path, "ab")
         src_root = os.path.dirname(os.path.dirname(
@@ -83,14 +90,14 @@ class AgentHandle:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise HarnessError(
-                    f"{self.role.value}: no response within {timeout:.1f}s")
+                    f"{self.member}: no response within {timeout:.1f}s")
             ready, _, _ = select.select([fd], [], [], remaining)
             if not ready:
                 continue
             chunk = os.read(fd, 65536)
             if not chunk:
                 raise HarnessError(
-                    f"{self.role.value}: agent exited unexpectedly "
+                    f"{self.member}: agent exited unexpectedly "
                     f"(code {self.proc.poll()})")
             self._buffer += chunk
         line, self._buffer = self._buffer.split(b"\n", 1)
@@ -99,7 +106,7 @@ class AgentHandle:
     def wait_ready(self, timeout: float = 15.0) -> Dict[str, Any]:
         ready = self._read_line(timeout)
         if ready.get("event") != "ready":
-            raise HarnessError(f"{self.role.value}: unexpected boot line {ready}")
+            raise HarnessError(f"{self.member}: unexpected boot line {ready}")
         return ready
 
     def request(self, command: Dict[str, Any],
@@ -109,12 +116,12 @@ class AgentHandle:
             self.proc.stdin.write(data.encode("utf-8"))
             self.proc.stdin.flush()
         except (BrokenPipeError, OSError) as exc:
-            raise HarnessError(f"{self.role.value}: control channel closed "
+            raise HarnessError(f"{self.member}: control channel closed "
                                f"({exc})") from exc
         response = self._read_line(timeout)
         if not response.get("ok", False):
             raise HarnessError(
-                f"{self.role.value}: {command.get('cmd')} failed: "
+                f"{self.member}: {command.get('cmd')} failed: "
                 f"{response.get('error')}")
         return response
 
@@ -154,7 +161,7 @@ class AgentHandle:
 
 
 class LiveHarness:
-    """Launch, drive, crash, and recover a live P1_act/P1_sdw/P2 system."""
+    """Launch, drive, crash, and recover one OS process per member."""
 
     name = "live"
 
@@ -162,13 +169,18 @@ class LiveHarness:
                  workdir: Optional[str] = None,
                  heartbeat: Optional[Dict[str, float]] = None,
                  deadline: float = 120.0, horizon: float = 1_000.0,
-                 quiesce_horizon: float = 2.0) -> None:
+                 quiesce_horizon: float = 2.0,
+                 topology: str = "paper") -> None:
         self.seed = seed
         self.tb_interval = tb_interval
         self.heartbeat = heartbeat
         self.deadline = deadline
         self.horizon = horizon
         self.quiesce_horizon = quiesce_horizon
+        self.topology: Topology = parse_topology(topology)
+        self.member_ids = list(self.topology.role_ids())
+        self._node_member = {m.node_id: m.role_id
+                             for m in self.topology.members}
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-live-")
         self._owns_workdir = workdir is None
         os.makedirs(self.workdir, exist_ok=True)
@@ -176,32 +188,34 @@ class LiveHarness:
         #: restarted ones) agree on local time the way the sim's
         #: roughly-synchronized clocks do.
         self.clock_origin = time.monotonic()
-        self.ports = {role: _free_port() for role in ROLE_ORDER}
-        self.agents: Dict[Role, AgentHandle] = {}
+        self.ports = {member: _free_port() for member in self.member_ids}
+        self.agents: Dict[str, AgentHandle] = {}
         self.deposed: List[str] = []
         self._deadline_at = 0.0
 
     # ------------------------------------------------------------------
     # specs and lifecycle
     # ------------------------------------------------------------------
-    def _trace_path(self, role: Role) -> str:
-        return os.path.join(self.workdir, f"decisions_{role.value}.jsonl")
+    def _trace_path(self, member: str) -> str:
+        return os.path.join(self.workdir, f"decisions_{member}.jsonl")
 
-    def _spec(self, role: Role, incarnation: int = 0) -> Dict[str, Any]:
+    def _spec(self, member: str, incarnation: int = 0) -> Dict[str, Any]:
         heartbeat = None
         if self.heartbeat is not None:
             heartbeat = dict(self.heartbeat)
-            if role is Role.SHADOW_1:
-                heartbeat.setdefault("watch", Role.ACTIVE_1.value)
-        return {
-            "role": role.value,
+            slot = self.topology.member(member)
+            if slot.kind is MemberKind.SHADOW and self._is_successor(slot):
+                heartbeat.setdefault(
+                    "watch", self.topology.active_of(slot.component).role_id)
+        spec = {
+            "role": member,
             "seed": self.seed,
             "host": "127.0.0.1",
-            "port": self.ports[role],
-            "peers": {other.value: ["127.0.0.1", self.ports[other]]
-                      for other in ROLE_ORDER if other is not role},
-            "data_dir": os.path.join(self.workdir, f"stable_{role.value}"),
-            "trace_path": self._trace_path(role),
+            "port": self.ports[member],
+            "peers": {other: ["127.0.0.1", self.ports[other]]
+                      for other in self.member_ids if other != member},
+            "data_dir": os.path.join(self.workdir, f"stable_{member}"),
+            "trace_path": self._trace_path(member),
             "tb_interval": self.tb_interval,
             "horizon": self.horizon,
             "clock_origin": self.clock_origin,
@@ -209,13 +223,24 @@ class LiveHarness:
             "incarnation": incarnation,
             "deposed": list(self.deposed),
         }
+        if not self.topology.is_paper:
+            spec["topology"] = self.topology.spec
+            spec["node"] = self.topology.member(member).node_id
+        return spec
 
-    def _spawn(self, role: Role, incarnation: int = 0) -> AgentHandle:
-        agent = AgentHandle(role, self._spec(role, incarnation),
+    def _is_successor(self, slot) -> bool:
+        """Whether ``slot`` is the deterministic takeover winner of its
+        component (the one shadow that arms the failure detector)."""
+        statuses = {m.role_id: "up" for m in self.topology.members}
+        return elect_successor(self.topology, slot.component,
+                               statuses) == slot.role_id
+
+    def _spawn(self, member: str, incarnation: int = 0) -> AgentHandle:
+        agent = AgentHandle(member, self._spec(member, incarnation),
                             os.path.join(self.workdir,
-                                         f"agent_{role.value}.log"))
+                                         f"agent_{member}.log"))
         agent.wait_ready(timeout=self._budget(15.0))
-        self.agents[role] = agent
+        self.agents[member] = agent
         return agent
 
     def _budget(self, cap: float) -> float:
@@ -225,8 +250,8 @@ class LiveHarness:
         return min(cap, remaining)
 
     def _in_service(self) -> List[AgentHandle]:
-        return [self.agents[role] for role in ROLE_ORDER
-                if role in self.agents]
+        return [self.agents[member] for member in self.member_ids
+                if member in self.agents]
 
     # ------------------------------------------------------------------
     # barriers
@@ -248,12 +273,26 @@ class LiveHarness:
     # ------------------------------------------------------------------
     # scripted oracle runs
     # ------------------------------------------------------------------
+    def _reset_artifacts(self) -> None:
+        """A run boots from genesis: drop any previous run's decision
+        traces and stable chains first.  Agents append to their
+        decision files (a kill -9 respawn must continue the same
+        trace), so a reused ``workdir`` would otherwise prepend a stale
+        run's decisions and resurrect its checkpoints."""
+        for member in self.member_ids:
+            path = self._trace_path(member)
+            if os.path.exists(path):
+                os.remove(path)
+            shutil.rmtree(os.path.join(self.workdir, f"stable_{member}"),
+                          ignore_errors=True)
+
     def run_script(self, script) -> Dict[str, List[Dict[str, Any]]]:
         """Execute ``script`` on real processes; return decision traces."""
         self._deadline_at = time.monotonic() + self.deadline
+        self._reset_artifacts()
         try:
-            for role in ROLE_ORDER:
-                self._spawn(role)
+            for member in self.member_ids:
+                self._spawn(member)
             for agent in self._in_service():
                 agent.request({"cmd": "start", "release": True},
                               timeout=self._budget(15.0))
@@ -268,6 +307,7 @@ class LiveHarness:
             self._reap_all()
 
     def _apply(self, op, sequence: int) -> None:
+        from ..runtime.script import member_targets
         if op.op == "settle":
             return
         if op.op == "tb-round":
@@ -275,16 +315,15 @@ class LiveHarness:
                 agent.request({"cmd": "tb-round"}, timeout=self._budget(15.0))
             return
         if op.op == "crash":
-            role = NODE_ROLES[op.target]
-            agent = self.agents.pop(role)
+            agent = self.agents.pop(self._node_member[op.target])
             agent.kill9()
             return
         if op.op == "restart":
-            self.recover_node(NODE_ROLES[op.target])
+            self.recover_node(self._node_member[op.target])
             return
-        for role in op.roles():
-            if role in self.agents:
-                self.agents[role].request(
+        for member in member_targets(op.target, self.topology):
+            if member in self.agents:
+                self.agents[member].request(
                     {"cmd": "op", "op": op.op, "index": sequence,
                      "stimulus": op.stimulus}, timeout=self._budget(15.0))
 
@@ -292,14 +331,16 @@ class LiveHarness:
     # coordinated hardware recovery (HardwareRecoveryCoordinator's
     # phases, orchestrated across address spaces)
     # ------------------------------------------------------------------
-    def recover_node(self, role: Role) -> Dict[str, Any]:
+    def recover_node(self, member) -> Dict[str, Any]:
         # The restarted agent comes up *held*: it receipts traffic but
         # dispatches nothing until recovery has restored its state and
         # fenced the old incarnation.
+        if isinstance(member, Role):
+            member = member.value
         current = max((agent.request({"cmd": "status"},
                                      timeout=self._budget(15.0))["incarnation"]
                        for agent in self._in_service()), default=0)
-        restarted = self._spawn(role, incarnation=current)
+        restarted = self._spawn(member, incarnation=current)
         restarted.request({"cmd": "start", "release": False},
                           timeout=self._budget(15.0))
         latest = [agent.request({"cmd": "hw-latest"},
@@ -331,15 +372,15 @@ class LiveHarness:
         shape as ``decisions_from_trace``: only processes that decided
         something appear)."""
         decisions: Dict[str, List[Dict[str, Any]]] = {}
-        for role in ROLE_ORDER:
-            path = self._trace_path(role)
+        for member in self.member_ids:
+            path = self._trace_path(member)
             if not os.path.exists(path):
                 continue
             with open(path, "r", encoding="utf-8") as handle:
                 records = [json.loads(line) for line in handle
                            if line.strip()]
             if records:
-                decisions[role.value] = records
+                decisions[member] = records
         return decisions
 
     def cleanup(self) -> None:
@@ -358,21 +399,26 @@ class LiveHarness:
     def run_demo(self) -> Dict[str, Any]:
         """Heartbeat failover end to end, on real processes.
 
-        ``kill -9`` the active mid-run; the shadow's own failure
-        detector must promote it (no harness involvement).  Then
-        ``kill -9`` the peer and run the coordinated hardware recovery
-        from file-backed stable storage.  Returns a summary dict; the
-        decision artifacts stay in ``workdir``.
+        ``kill -9`` component 1's active mid-run; the elected shadow's
+        own failure detector must promote it (no harness involvement).
+        Then ``kill -9`` the first peer and run the coordinated
+        hardware recovery from file-backed stable storage.  Returns a
+        summary dict; the decision artifacts stay in ``workdir``.
         """
         if self.heartbeat is None:
             self.heartbeat = {"interval": 0.15, "timeout": 0.75}
         self._deadline_at = time.monotonic() + self.deadline
+        active_id = self.topology.active_of(1).role_id
+        successor_id = self.topology.shadows_of(1)[0].role_id
+        peer_ids = [p.role_id for p in self.topology.peers()]
         summary: Dict[str, Any] = {"seed": self.seed,
                                    "tb_interval": self.tb_interval,
-                                   "workdir": self.workdir}
+                                   "workdir": self.workdir,
+                                   "topology": self.topology.spec}
+        self._reset_artifacts()
         try:
-            for role in ROLE_ORDER:
-                self._spawn(role)
+            for member in self.member_ids:
+                self._spawn(member)
             for agent in self._in_service():
                 agent.request({"cmd": "start", "release": True},
                               timeout=self._budget(15.0))
@@ -382,20 +428,20 @@ class LiveHarness:
             time.sleep(2.2 * self.tb_interval)
             self.quiesce_all(horizon=0.0)
 
-            active = self.agents.pop(Role.ACTIVE_1)
+            active = self.agents.pop(active_id)
             summary["active_killed"] = active.kill9() == -signal.SIGKILL
-            self.deposed = [Role.ACTIVE_1.value]
-            summary["takeover"] = self._await_takeover(Role.SHADOW_1)
-            summary["peer_adopted"] = self._await_takeover(Role.PEER_2)
+            self.deposed = [active_id]
+            summary["takeover"] = self._await_takeover(successor_id)
+            summary["peer_adopted"] = self._await_takeover(peer_ids[0])
 
             self._demo_op("internal", 2, 43)
             self._demo_op("external", 3, 44)
             self.quiesce_all(horizon=0.0)
 
-            peer = self.agents.pop(Role.PEER_2)
+            peer = self.agents.pop(peer_ids[0])
             summary["peer_killed"] = peer.kill9() == -signal.SIGKILL
             time.sleep(0.2)
-            summary["hardware_recovery"] = self.recover_node(Role.PEER_2)
+            summary["hardware_recovery"] = self.recover_node(peer_ids[0])
             self._demo_op("internal", 4, 45)
             self.quiesce_all(horizon=0.0)
 
@@ -404,8 +450,8 @@ class LiveHarness:
             decisions = self.collect_decisions()
             summary["decisions"] = {pid: len(seq)
                                     for pid, seq in decisions.items()}
-            shadow = decisions.get(Role.SHADOW_1.value, [])
-            peer_seq = decisions.get(Role.PEER_2.value, [])
+            shadow = decisions.get(successor_id, [])
+            peer_seq = decisions.get(peer_ids[0], [])
             summary["shadow_recovered"] = any(
                 entry["event"].startswith("recovery.") for entry in shadow)
             summary["peer_rolled_back"] = any(
@@ -423,20 +469,21 @@ class LiveHarness:
             self._reap_all()
 
     def _demo_op(self, op: str, sequence: int, stimulus: int) -> None:
-        """Apply a component-1 op to whichever replica is in service."""
-        for role in (Role.ACTIVE_1, Role.SHADOW_1):
-            if role in self.agents:
-                self.agents[role].request(
+        """Apply a component-1 op to whichever replicas are in service."""
+        from ..runtime.script import member_targets
+        for member in member_targets("C1", self.topology):
+            if member in self.agents:
+                self.agents[member].request(
                     {"cmd": "op", "op": op, "index": sequence,
                      "stimulus": stimulus}, timeout=self._budget(15.0))
         self.quiesce_all(horizon=0.0)
 
-    def _await_takeover(self, role: Role) -> Optional[Dict[str, Any]]:
-        """Poll ``role``'s status until its takeover summary appears."""
+    def _await_takeover(self, member: str) -> Optional[Dict[str, Any]]:
+        """Poll ``member``'s status until its takeover summary appears."""
         while True:
             self._budget(1.0)
-            status = self.agents[role].request({"cmd": "status"},
-                                               timeout=self._budget(15.0))
+            status = self.agents[member].request({"cmd": "status"},
+                                                 timeout=self._budget(15.0))
             if status.get("takeover"):
                 return status["takeover"]
             time.sleep(0.1)

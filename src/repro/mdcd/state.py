@@ -65,6 +65,17 @@ class MdcdState:
     #: its contamination onset), so the receiver must stay suspicious
     #: even if the messages' own provenance is covered by a validation.
     dirty_sources: Optional[set] = None
+    #: Per-source contamination provenance (N-component topologies):
+    #: guarded active role id -> highest sequence number of that active
+    #: influencing this process's state.  ``None``/empty while clean.
+    taint_map: Optional[dict] = None
+    #: Per-source valid-bound registers (N-component topologies): the
+    #: highest certified sequence number per guarded active.
+    vr_map: Optional[dict] = None
+    #: Per-source record of the last sequence number received from each
+    #: guarded active (the value peers merge into their own "passed AT"
+    #: bound maps).
+    msg_sn_map: Optional[dict] = None
 
     #: Snapshot section this state is encoded under (see
     #: :mod:`repro.snapshot.sections`).
@@ -77,4 +88,9 @@ class MdcdState:
     def copy(self) -> "MdcdState":
         """An independent copy (checkpoints pickle the whole snapshot,
         but in-process consumers occasionally need one too)."""
-        return dataclasses.replace(self, dirty_sources=set(self.dirty_sources))
+        return dataclasses.replace(
+            self, dirty_sources=set(self.dirty_sources),
+            taint_map=dict(self.taint_map) if self.taint_map is not None else None,
+            vr_map=dict(self.vr_map) if self.vr_map is not None else None,
+            msg_sn_map=(dict(self.msg_sn_map)
+                        if self.msg_sn_map is not None else None))

@@ -101,6 +101,13 @@ class Message:
     #: and in the paper's three-process protocols (where the chain
     #: topology makes provenance implicit).
     taint_sn: Optional[int] = None
+    #: Per-source contamination provenance (N-component topologies):
+    #: maps each guarded active's role id to the highest sequence
+    #: number of that active influencing the sender's state when this
+    #: message was produced.  On ``PASSED_AT`` notifications the same
+    #: field carries the *certified bound map* of the validation.
+    #: ``None`` on clean sends and outside topology systems.
+    taint_map: Optional[dict] = None
     #: Destination sequence number (generalized K-peer protocol): the
     #: k-th internal message this sender addressed to this receiver.
     #: Under the piecewise-determinism assumption a rolled-back sender's
@@ -164,12 +171,17 @@ class Message:
 
 
 def passed_at_notification(sender: ProcessId, receiver: ProcessId,
-                           msg_sn: Optional[int], ndc: Optional[int]) -> Message:
+                           msg_sn: Optional[int], ndc: Optional[int],
+                           bound_map: Optional[dict] = None) -> Message:
     """Build a "passed AT" notification (one per recipient).
 
     ``msg_sn`` is the sequence number of the last message of ``P1_act``
     covered by the validation (the paper's ``msg_SN_P1act``); ``ndc`` is
-    the sender's current stable-checkpoint epoch.
+    the sender's current stable-checkpoint epoch.  ``bound_map`` is the
+    per-source form of ``msg_sn`` in N-component topologies: each
+    guarded active's role id mapped to the highest sequence number of
+    that active the validation certifies.
     """
     return Message(kind=MessageKind.PASSED_AT, sender=sender, receiver=receiver,
-                   payload=None, sn=msg_sn, ndc=ndc)
+                   payload=None, sn=msg_sn, ndc=ndc,
+                   taint_map=dict(bound_map) if bound_map else None)

@@ -13,8 +13,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional
 
+from ..topology.model import parse_topology
 from .decisions import diff_decisions
-from .script import WorkloadScript, standard_script
+from .script import WorkloadScript, standard_script, topology_script
 from .sim_backend import SimBackend
 
 
@@ -28,12 +29,14 @@ class CrosscheckResult:
     differences: List[str]
     sim_decisions: Dict[str, List[Dict[str, Any]]]
     live_decisions: Dict[str, List[Dict[str, Any]]]
+    topology: str = "paper"
 
     def summary(self) -> Dict[str, Any]:
         return {
             "equivalent": self.equivalent,
             "seed": self.seed,
             "ops": self.ops,
+            "topology": self.topology,
             "differences": self.differences,
             "decisions_per_process": {
                 process: len(seq)
@@ -42,21 +45,27 @@ class CrosscheckResult:
 
 
 def run_crosscheck(seed: int = 0, script: Optional[WorkloadScript] = None,
-                   workdir: Optional[str] = None) -> CrosscheckResult:
+                   workdir: Optional[str] = None,
+                   topology: str = "paper") -> CrosscheckResult:
     """Run the script on both backends and diff the decision traces.
 
     ``workdir`` keeps the live backend's artifacts (decision JSONL
     files, stable-storage directories, agent logs) for inspection;
-    otherwise a temporary directory is used and cleaned up.
+    otherwise a temporary directory is used and cleaned up.  A
+    non-paper ``topology`` spawns one live OS process per member and
+    defaults the script to the generalized :func:`topology_script`.
     """
     from ..live.harness import LiveHarness  # deferred: OS-process backend
 
+    topo = parse_topology(topology)
     if script is None:
-        script = standard_script()
-    sim_decisions = SimBackend(seed=seed).run_script(script)
-    live_decisions = LiveHarness(seed=seed, workdir=workdir).run_script(script)
+        script = (standard_script() if topo.is_paper
+                  else topology_script(topo))
+    sim_decisions = SimBackend(seed=seed, topology=topology).run_script(script)
+    live_decisions = LiveHarness(seed=seed, workdir=workdir,
+                                 topology=topology).run_script(script)
     differences = diff_decisions(sim_decisions, live_decisions)
     return CrosscheckResult(
         equivalent=not differences, seed=seed, ops=len(script),
         differences=differences, sim_decisions=sim_decisions,
-        live_decisions=live_decisions)
+        live_decisions=live_decisions, topology=topo.spec)

@@ -10,13 +10,18 @@ the basis of the sim-as-oracle cross-check.
 Op vocabulary
 -------------
 ``internal``/``external``/``step`` target a *component*: ``C1`` applies
-the same :class:`~repro.app.workload.Action` to both replicas of
-component 1 (active and shadow share one action stream, paper Section
-2.1); ``P2`` applies it to the peer.  ``tb-round`` triggers one
+the same :class:`~repro.app.workload.Action` to every replica of
+component 1 (an active and its shadows share one action stream, paper
+Section 2.1); a peer role id (``P2`` in the paper shape, ``P1``..``PU``
+generally) applies it to that peer.  ``tb-round`` triggers one
 checkpoint establishment on every in-service engine (the engines'
 periodic timers are parked far in the future so rounds happen only when
 scripted).  ``crash``/``restart`` name a node; restart implies the
 coordinated hardware recovery.  ``settle`` is a pure barrier.
+
+Targets resolve against a :class:`~repro.topology.model.Topology` via
+:func:`member_targets`; the legacy :meth:`ScriptOp.roles` API keeps
+working for the paper shape.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import dataclasses
 from typing import Iterator, List, Tuple
 
 from ..app.workload import Action, ActionKind
+from ..topology.model import MemberKind, Topology
 from ..types import Role
 
 #: Component targets and the process roles each op fans out to.
@@ -69,11 +75,29 @@ class ScriptOp:
                       stimulus=self.stimulus)
 
     def roles(self) -> Tuple[Role, ...]:
-        """The process roles an application op targets."""
+        """The process roles an application op targets (paper shape)."""
         try:
             return COMPONENT_TARGETS[self.target]
         except KeyError:
             raise ValueError(f"unknown component target {self.target!r}") from None
+
+
+def member_targets(target: str, topology: Topology) -> Tuple[str, ...]:
+    """Resolve an application-op target to member role ids.
+
+    ``C{n}`` fans out to component ``n``'s active and all its shadows
+    (one shared action stream); a peer's role id targets that peer.
+    """
+    if target.startswith("C") and target[1:].isdigit():
+        component = int(target[1:])
+        active = topology.active_of(component)
+        return (active.role_id,) + tuple(
+            s.role_id for s in topology.shadows_of(component))
+    member = topology.member(target)
+    if member.kind is not MemberKind.PEER:
+        raise ValueError(f"target {target!r} names a guarded replica; "
+                         f"use C{member.component} for its component")
+    return (member.role_id,)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -133,3 +157,42 @@ def smoke_script() -> WorkloadScript:
         ScriptOp("external", "C1", stimulus=2),
         ScriptOp("tb-round"),
     ))
+
+
+def topology_script(topology: Topology,
+                    crash: bool = True) -> WorkloadScript:
+    """The ``standard_script`` shape generalized over a topology.
+
+    Every component contaminates and then validates (so each guarded
+    pair and the whole peer mesh see dirty and clean establishments);
+    the first peer validates from its own side; optionally the first
+    peer's node crashes and the coordinated hardware recovery runs;
+    post-recovery traffic closes the run.  Stimuli are deterministic so
+    both backends construct identical actions.
+    """
+    components = [f"C{c}" for c in range(1, topology.n_components + 1)]
+    first_peer = topology.peers()[0]
+    ops: List[ScriptOp] = []
+    stimulus = 10
+    for target in components:
+        ops.append(ScriptOp("internal", target, stimulus=stimulus + 1))
+        ops.append(ScriptOp("internal", target, stimulus=stimulus + 2))
+        stimulus += 2
+    ops.append(ScriptOp("tb-round"))
+    for target in components:
+        stimulus += 1
+        ops.append(ScriptOp("external", target, stimulus=stimulus))
+    ops.append(ScriptOp("tb-round"))
+    # Re-contaminate component 1, validate from the peer side.
+    ops.append(ScriptOp("internal", "C1", stimulus=stimulus + 1))
+    ops.append(ScriptOp("external", first_peer.role_id, stimulus=stimulus + 2))
+    stimulus += 2
+    ops.append(ScriptOp("tb-round"))
+    if crash:
+        ops.append(ScriptOp("crash", first_peer.node_id))
+        ops.append(ScriptOp("settle"))
+        ops.append(ScriptOp("restart", first_peer.node_id))
+    ops.append(ScriptOp("internal", "C1", stimulus=stimulus + 1))
+    ops.append(ScriptOp("external", "C1", stimulus=stimulus + 2))
+    ops.append(ScriptOp("tb-round"))
+    return WorkloadScript(ops=tuple(ops))

@@ -17,9 +17,8 @@ from typing import Any, Dict, List
 from ..app.workload import WorkloadConfig
 from ..coordination.scheme import Scheme, SystemConfig, build_system
 from ..tb.blocking import TbConfig
-from ..types import Role
 from .decisions import decisions_from_trace
-from .script import ScriptOp, WorkloadScript
+from .script import ScriptOp, WorkloadScript, member_targets
 
 #: TB interval used by scripted runs on BOTH backends: long enough that
 #: the periodic timer never fires on its own within a scripted run.
@@ -34,7 +33,8 @@ _IDLE_RATE = 1e-12
 STEP_SECONDS = 5.0
 
 
-def scripted_config(seed: int = 0, horizon: float = 1_000.0) -> SystemConfig:
+def scripted_config(seed: int = 0, horizon: float = 1_000.0,
+                    topology: str = "paper") -> SystemConfig:
     """The system configuration scripted runs use on the sim backend.
 
     The live agents mirror the protocol-relevant parts (scheme, TB
@@ -48,6 +48,7 @@ def scripted_config(seed: int = 0, horizon: float = 1_000.0) -> SystemConfig:
         tb=TbConfig(interval=SCRIPTED_TB_INTERVAL),
         workload1=idle, workload2=idle,
         trace_enabled=True,
+        topology=topology,
     )
 
 
@@ -56,11 +57,13 @@ class SimBackend:
 
     name = "sim"
 
-    def __init__(self, seed: int = 0, step: float = STEP_SECONDS) -> None:
+    def __init__(self, seed: int = 0, step: float = STEP_SECONDS,
+                 topology: str = "paper") -> None:
         self.seed = seed
         self.step = step
         horizon = 1_000.0
-        self.system = build_system(scripted_config(seed=seed, horizon=horizon))
+        self.system = build_system(scripted_config(seed=seed, horizon=horizon,
+                                                   topology=topology))
 
     # ------------------------------------------------------------------
     def run_script(self, script: WorkloadScript) -> Dict[str, List[Dict[str, Any]]]:
@@ -80,8 +83,7 @@ class SimBackend:
         if op.op == "settle":
             return
         if op.op == "tb-round":
-            for role in (Role.ACTIVE_1, Role.SHADOW_1, Role.PEER_2):
-                process = self.system.processes[role]
+            for process in self.system.process_list():
                 if process.hardware is not None:
                     process.hardware.trigger_round()
             return
@@ -94,8 +96,8 @@ class SimBackend:
             self.system.nodes[op.target].restart()
             return
         action = op.action(sequence)
-        for role in op.roles():
-            process = self.system.processes[role]
+        for member_id in member_targets(op.target, self.system.topology):
+            process = self.system.members[member_id]
             if process.deposed or process.node.crashed:
                 continue
             process.perform_action(action)

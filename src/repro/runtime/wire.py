@@ -148,6 +148,7 @@ def message_to_dict(message: Message) -> Dict[str, Any]:
         "ndc": message.ndc,
         "dirty_bit": message.dirty_bit,
         "taint_sn": message.taint_sn,
+        "taint_map": message.taint_map,
         "dsn": message.dsn,
         "corrupt": message.corrupt,
         "resend_of": resend_of,
@@ -180,6 +181,9 @@ def message_from_dict(data: Dict[str, Any]) -> Message:
         payload=_decode_payload(data.get("payload")),
         sn=data.get("sn"), ndc=data.get("ndc"),
         dirty_bit=data.get("dirty_bit"), taint_sn=data.get("taint_sn"),
+        taint_map=(None if data.get("taint_map") is None
+                   else {str(k): int(v)
+                         for k, v in data["taint_map"].items()}),
         dsn=data.get("dsn"), corrupt=bool(data.get("corrupt", False)),
         resend_of=resend_of,
         incarnation=int(data.get("incarnation", 0)),

@@ -115,6 +115,15 @@ class HardwareRecoveryCoordinator:
             else:
                 eng.reset_after_recovery(line)
         for proc, _ckpt in restored:
+            if proc.node.crashed:
+                # Overlapping crashes: a process whose own node is still
+                # down was rolled back to the line like everyone else
+                # (its stable chain survives the crash), but it can
+                # neither transmit nor run right now — its resends and
+                # driver resume ride on the recovery that fires at its
+                # own restart.
+                proc.counters.bump("recovery.resend_deferred_crashed")
+                continue
             for message in proc.acks.unacknowledged():
                 receiver = self._find(message.receiver)
                 if receiver is not None and receiver.deposed:

@@ -1,0 +1,45 @@
+"""Deterministic shadow-takeover election.
+
+When a guarded component's active is condemned (failed acceptance test
+or heartbeat timeout) one of its shadows must take over — and the
+shadow preferred by configuration may itself be crashed or already
+deposed.  The election is bully-style and fully deterministic: among
+the component's live, in-service shadows the winner is the one with
+the **lowest confidence rank**, ties broken by **lowest role id**.
+Every correct observer of the same :class:`~repro.topology.view.GroupView`
+therefore elects the same successor without exchanging messages, which
+is what lets the simulated and live backends agree decision-for-decision.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .model import Topology
+
+#: Member availability states a view reports to the election.
+UP = "up"
+CRASHED = "crashed"
+DEPOSED = "deposed"
+
+
+def eligible(status: str) -> bool:
+    """Whether a member in ``status`` can stand for election."""
+    return status == UP
+
+
+def elect_successor(topology: Topology, component: int,
+                    statuses: Mapping[str, str]) -> Optional[str]:
+    """Elect the takeover shadow for ``component``.
+
+    ``statuses`` maps role ids to ``"up"`` / ``"crashed"`` /
+    ``"deposed"`` (missing entries default to ``"up"``).  Returns the
+    winning shadow's role id, or ``None`` when no shadow is eligible
+    (the caller then defers recovery until one restarts).
+    """
+    candidates = [s for s in topology.shadows_of(component)
+                  if eligible(statuses.get(s.role_id, UP))]
+    if not candidates:
+        return None
+    winner = min(candidates, key=lambda s: (s.rank, s.role_id))
+    return winner.role_id

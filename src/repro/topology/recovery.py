@@ -1,0 +1,238 @@
+"""Per-component software recovery with deterministic shadow election.
+
+The paper's single :class:`~repro.mdcd.recovery.SoftwareRecoveryManager`
+promotes *the* shadow when *the* active fails.  With N guarded
+components and K shadows each, recovery becomes per-component: when a
+component's active is condemned, the takeover target is chosen by the
+deterministic election (:mod:`repro.topology.election`) over the
+current :class:`~repro.topology.view.GroupView` — so the system
+survives the preferred shadow itself being crashed, and every observer
+agrees on the successor.  The losing shadows of the recovered
+component are retired (their suppressed logs mirror a producer that no
+longer exists); the other components stay guarded and untouched — in
+the topology interaction shape their states carry no provenance from
+the failed component, so the paper's locality argument applies
+component-wise.
+
+A peer's failed acceptance test implicates every source in its taint
+map: each such component is recovered (contamination could have
+originated at any of them — the conservative reading of detection
+without attribution).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional
+
+from ..errors import RecoveryError
+from ..messages.message import Message
+from ..types import MessageKind, RecoveryAction
+from .engines import TopologyTakeoverEngine
+from .model import MemberKind, Topology
+from .view import GroupView
+
+
+class TopologyRecoveryManager:
+    """Coordinates shadow takeovers across an N-component topology.
+
+    Installed on every process as ``process.recovery_manager``;
+    engines escalate failed ATs here.  Holds only picklable references
+    (processes, the view, bound methods) so systems warm-start.
+    """
+
+    def __init__(self, topology: Topology, view: GroupView,
+                 members: Dict[str, object], incarnation, trace) -> None:
+        self.topology = topology
+        self.view = view
+        self.members = dict(members)
+        self.incarnation = incarnation
+        self.trace = trace
+        #: Components whose takeover has completed.
+        self.completed: Dict[int, bool] = {}
+        #: Components whose takeover waits for a shadow node restart.
+        self.deferred: Dict[int, bool] = {}
+        #: Last-recovery bookkeeping, aggregated over components.
+        self.decisions: Dict[object, RecoveryAction] = {}
+        self.distances: Dict[object, float] = {}
+        self.resent = 0
+        self.suppressed = 0
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Attach this manager to every process."""
+        for proc in self.members.values():
+            proc.recovery_manager = self
+
+    def recover(self, detected_by, failed_message: Message) -> None:
+        """Run takeovers for every component the detection implicates."""
+        for component in self._suspect_components(detected_by):
+            self._recover_component(component, detected_by, failed_message)
+
+    # ------------------------------------------------------------------
+    def _suspect_components(self, detected_by) -> List[int]:
+        """Which components a failed AT at ``detected_by`` implicates."""
+        role_id = str(detected_by.process_id)
+        member = self.topology.member(role_id)
+        if member.kind is not MemberKind.PEER:
+            return [member.component]
+        # A peer's state went bad: any source in its taint map could be
+        # the origin.  An empty map (possible only under imperfect AT
+        # coverage) implicates every still-guarded component.
+        taint = detected_by.mdcd.taint_map or {}
+        suspects = sorted(
+            self.topology.member(src).component for src in taint
+            if src in {m.role_id for m in self.topology.actives()})
+        if suspects:
+            return suspects
+        return [c for c in range(1, self.topology.n_components + 1)
+                if not self.completed.get(c)]
+
+    def _component_shadows(self, component: int):
+        return [self.members[s.role_id]
+                for s in self.topology.shadows_of(component)]
+
+    def _peer_processes(self):
+        return [self.members[p.role_id] for p in self.topology.peers()]
+
+    def _deferred_recover(self, component: int, detected_by,
+                          failed_message: Message, _node) -> None:
+        self._recover_component(component, detected_by, failed_message)
+
+    def _recover_component(self, component: int, detected_by,
+                           failed_message: Message) -> None:
+        sim = detected_by.sim
+        if self.completed.get(component):
+            self.trace.record(sim.now, "recovery.software.duplicate",
+                              detected_by.process_id, component=component)
+            return
+        active = self.members[self.topology.active_of(component).role_id]
+        winner_id = self.view.elect(component)
+        if winner_id is None or self.members[winner_id].node.crashed:
+            # Coincident software + hardware faults took out every
+            # eligible shadow.  Fail-stop the faulty active now (no
+            # further contamination) and defer the takeover until any
+            # of the component's shadow nodes restarts — the hardware
+            # recovery on that restart (its listener registered
+            # earlier) rolls the survivors back first, then the
+            # deferred takeover re-runs the election.
+            if not active.deposed:
+                active.depose()
+                self.view.note_deposed(str(active.process_id))
+            if not self.deferred.get(component):
+                self.deferred[component] = True
+                self.trace.record(sim.now, "recovery.software.deferred",
+                                  detected_by.process_id, component=component)
+                for shadow in self._component_shadows(component):
+                    shadow.node.on_restart(functools.partial(
+                        self._deferred_recover, component, detected_by,
+                        failed_message))
+            return
+        self.deferred[component] = False
+        self.completed[component] = True
+        winner = self.members[winner_id]
+        self.trace.record(sim.now, "recovery.software.start",
+                          detected_by.process_id, component=component,
+                          elected=winner_id, failed=failed_message.describe())
+        # Fence off every message of the failed incarnation.
+        self.incarnation.bump()
+        if not active.deposed:
+            active.depose()
+        self.view.note_deposed(str(active.process_id))
+
+        # Local decisions: the elected shadow plus every peer.  Other
+        # components' members carry no provenance from this one (no
+        # application traffic flows into a guarded component), so the
+        # paper's local rule has nothing to decide for them.
+        for proc in [winner] + self._peer_processes():
+            self._local_decision(proc)
+
+        self._promote(component, winner)
+        self._retire_losing_shadows(component, winner_id)
+        self._resend_unacknowledged()
+        active.mdcd.guarded = False
+        if not any(not self.completed.get(c)
+                   for c in range(1, self.topology.n_components + 1)):
+            # The last guarded component left service: MDCD goes on
+            # leave everywhere (paper Section 4.2, last paragraph).
+            for proc in self._peer_processes():
+                proc.mdcd.guarded = False
+        self.trace.record(
+            sim.now, "recovery.software.done", None, component=component,
+            elected=winner_id, epoch=self.view.epoch,
+            decisions={str(k): v.value for k, v in self.decisions.items()},
+            resent=self.resent, suppressed=self.suppressed)
+
+    # ------------------------------------------------------------------
+    def _local_decision(self, proc) -> None:
+        """The paper's local rule: dirty -> rollback, clean -> forward."""
+        if proc.node.crashed:
+            proc.counters.bump("recovery.decision_skipped_crashed")
+            return
+        if proc.mdcd.dirty_bit == 1:
+            checkpoint = proc.volatile_checkpoint()
+            if checkpoint is None:
+                checkpoint = proc.node.stable.peek(proc.process_id)
+                proc.counters.bump("recovery.degraded_fallback")
+                proc.trace.record(proc.sim.now, "recovery.degraded_fallback",
+                                  proc.process_id)
+            if checkpoint is None:
+                raise RecoveryError(f"{proc.process_id} is dirty but has "
+                                    "no checkpoint to roll back to")
+            self.distances[proc.process_id] = proc.restore_from(
+                checkpoint, "software")
+            self.decisions[proc.process_id] = RecoveryAction.ROLLBACK
+        else:
+            proc.roll_forward("software")
+            self.decisions[proc.process_id] = RecoveryAction.ROLL_FORWARD
+
+    def _promote(self, component: int, shadow) -> None:
+        """Re-send the unvalidated suppressed log and switch the
+        elected shadow to post-takeover behaviour."""
+        vr = shadow.mdcd.vr
+        to_resend = shadow.msg_log.entries_after(vr)
+        if vr is not None:
+            self.suppressed += shadow.msg_log.reclaim_up_to(vr)
+        for entry in to_resend:
+            message = entry.message
+            if message.kind is MessageKind.EXTERNAL:
+                shadow.send_external(message.payload, validated=True)
+            else:
+                shadow.send_internal(message.payload, entry.destinations(),
+                                     sn=message.sn, dirty_bit=0,
+                                     validated=True, ndc=shadow.current_ndc())
+            self.resent += 1
+        shadow.msg_log.clear()
+        peer_ids = [p.process_id for p in self._peer_processes()]
+        shadow.software = TopologyTakeoverEngine(shadow, peers=peer_ids)
+        shadow.mdcd.guarded = False
+        self.view.note_promoted(str(shadow.process_id))
+        shadow.driver.resume()
+
+    def _retire_losing_shadows(self, component: int, winner_id: str) -> None:
+        """Depose the component's remaining shadows: their suppressed
+        logs mirror a producer that no longer exists."""
+        for spec in self.topology.shadows_of(component):
+            if spec.role_id == winner_id:
+                continue
+            proc = self.members[spec.role_id]
+            if not proc.deposed:
+                proc.depose()
+            proc.mdcd.guarded = False
+            self.view.note_deposed(spec.role_id)
+
+    def _resend_unacknowledged(self) -> None:
+        """Re-send in-service survivors' unacknowledged messages under
+        the new incarnation (receivers deduplicate); drop messages
+        addressed to deposed members."""
+        deposed = {pid for pid, proc in
+                   ((p.process_id, p) for p in self.members.values())
+                   if proc.deposed}
+        for proc in self.members.values():
+            if proc.deposed or proc.node.crashed:
+                continue
+            for message in proc.acks.unacknowledged():
+                if message.receiver in deposed:
+                    proc.acks.acked(message.msg_id)
+                    continue
+                proc.resend(message)

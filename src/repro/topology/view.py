@@ -1,0 +1,142 @@
+"""Epoch-numbered group view.
+
+A :class:`GroupView` tracks which members of a :class:`~repro.topology
+.model.Topology` are currently in service.  Every membership change —
+a node crash, a restart, a deposition after takeover, a shadow
+promotion — installs a new **view epoch**; epochs are monotone by
+construction, and each member records the epoch at which its own
+status last changed, so observers can order membership events without
+wall clocks.
+
+View changes emit ``view.change`` trace records.  The category is
+deliberately *not* part of the golden digest set
+(:data:`repro.audit.golden.GOLDEN_CATEGORIES`), so wiring a view into
+the paper-shape system cannot perturb the pinned Fig. 6 digests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .election import CRASHED, DEPOSED, UP, elect_successor
+from .model import MemberKind, Topology
+
+
+class GroupView:
+    """Mutable membership state over an immutable topology.
+
+    ``clock`` is any object with a ``now`` attribute (the simulator);
+    held by reference — not a closure — so views pickle into
+    warm-start images.
+    """
+
+    def __init__(self, topology: Topology, trace=None, clock=None) -> None:
+        self.topology = topology
+        self.trace = trace
+        self._clock = clock
+        self.epoch = 0
+        self.status: Dict[str, str] = {m.role_id: UP for m in topology.members}
+        #: Epoch at which each member's status last changed.
+        self.changed_at: Dict[str, int] = {m.role_id: 0
+                                           for m in topology.members}
+        #: Promoted shadows, by component (role id of the acting active).
+        self.promoted: Dict[int, str] = {}
+        #: (epoch, role_id, status) history, for audits and tests.
+        self.history: List[Tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def _change(self, role_id: str, status: str, reason: str,
+                force: bool = False) -> int:
+        if self.status.get(role_id) == status and not force:
+            return self.epoch
+        self.epoch += 1
+        self.status[role_id] = status
+        self.changed_at[role_id] = self.epoch
+        self.history.append((self.epoch, role_id, status))
+        if self.trace is not None and self.trace.wants("view.change"):
+            now = self._clock.now if self._clock is not None else 0.0
+            self.trace.record(now, "view.change", None, epoch=self.epoch,
+                              member=role_id, status=status, reason=reason)
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    # node-listener adapters (bound methods, so they pickle)
+    # ------------------------------------------------------------------
+    def _on_node_crash(self, node) -> None:
+        self.node_crashed(str(node.node_id))
+
+    def _on_node_restart(self, node) -> None:
+        self.node_restarted(str(node.node_id))
+
+    def note_crash(self, role_id: str) -> int:
+        """A member's node crashed."""
+        return self._change(role_id, CRASHED, "crash")
+
+    def note_restart(self, role_id: str) -> int:
+        """A crashed member's node came back (deposed members stay
+        deposed — restart does not re-seat them)."""
+        if self.status.get(role_id) == DEPOSED:
+            return self.epoch
+        return self._change(role_id, UP, "restart")
+
+    def note_deposed(self, role_id: str) -> int:
+        """A member was taken out of service by recovery."""
+        return self._change(role_id, DEPOSED, "deposed")
+
+    def note_promoted(self, role_id: str) -> int:
+        """A shadow was elected and took over as its component's
+        acting active."""
+        member = self.topology.member(role_id)
+        self.promoted[member.component] = role_id
+        # Promotion installs a new view even though the shadow was
+        # already up: the *acting active* of the component changed.
+        return self._change(role_id, UP, "promoted", force=True)
+
+    def node_crashed(self, node_id: str) -> int:
+        """Mark every member hosted on ``node_id`` crashed."""
+        epoch = self.epoch
+        for m in self.topology.members_on(node_id):
+            epoch = self.note_crash(m.role_id)
+        return epoch
+
+    def node_restarted(self, node_id: str) -> int:
+        """Mark every member hosted on ``node_id`` back up."""
+        epoch = self.epoch
+        for m in self.topology.members_on(node_id):
+            epoch = self.note_restart(m.role_id)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_up(self, role_id: str) -> bool:
+        return self.status.get(role_id) == UP
+
+    def in_service(self) -> Tuple[str, ...]:
+        """Role ids currently up (crashed and deposed excluded)."""
+        return tuple(m.role_id for m in self.topology.members
+                     if self.status[m.role_id] == UP)
+
+    def acting_active(self, component: int) -> Optional[str]:
+        """The role currently serving as ``component``'s active: the
+        promoted shadow if a takeover happened, else the configured
+        active unless deposed."""
+        promoted = self.promoted.get(component)
+        if promoted is not None:
+            return promoted if self.status[promoted] != DEPOSED else None
+        configured = self.topology.active_of(component).role_id
+        return configured if self.status[configured] != DEPOSED else None
+
+    def elect(self, component: int) -> Optional[str]:
+        """Run the deterministic takeover election for ``component``
+        against the current view (see
+        :func:`repro.topology.election.elect_successor`)."""
+        statuses = dict(self.status)
+        for role_id in self.promoted.values():
+            member = self.topology.member(role_id)
+            if member.kind is MemberKind.SHADOW:
+                # An already-promoted shadow cannot stand again.
+                statuses[role_id] = DEPOSED
+        return elect_successor(self.topology, component, statuses)

@@ -13,7 +13,10 @@ If a protocol change legitimately alters an execution, regenerate with:
     PYTHONPATH=src python -c "
     import json
     from repro.audit import GOLDEN_CONFIG, golden_digests
+    from repro.topology.model import parse_topology
+    topo = parse_topology(GOLDEN_CONFIG.topology)
     print(json.dumps({'config_fingerprint': GOLDEN_CONFIG.fingerprint(),
+                      'topology_fingerprint': topo.fingerprint(),
                       'digests': golden_digests()}, indent=2, sort_keys=True))
     " > tests/golden/fig6_traces.json
 """
@@ -26,6 +29,7 @@ import pytest
 from repro.audit import GOLDEN_CONFIG, golden_digests, golden_schedules
 from repro.audit.campaign import build_audit_system
 from repro.audit.golden import canonical_trace_lines, trace_digest
+from repro.topology.model import Topology, parse_topology
 
 GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
                / "golden" / "fig6_traces.json")
@@ -45,6 +49,28 @@ class TestGoldenTraces:
     def test_config_unchanged(self, golden):
         assert golden["config_fingerprint"] == GOLDEN_CONFIG.fingerprint(), \
             "GOLDEN_CONFIG changed — regenerate tests/golden/fig6_traces.json"
+
+    def test_digests_keyed_to_paper_topology(self, golden):
+        # The pinned digests are the *paper topology's* digests,
+        # provably: the golden file pins the topology fingerprint, the
+        # golden config builds exactly that membership, and
+        # Topology.paper() still canonicalizes to it.  Any membership
+        # drift (roles, nodes, components, ranks) changes the
+        # fingerprint and fails here before it could silently re-key
+        # the digests.
+        assert golden["topology_fingerprint"] == \
+            Topology.paper().fingerprint(), \
+            "Topology.paper() changed — the pinned 3-process digests " \
+            "no longer describe the default membership"
+        assert parse_topology(GOLDEN_CONFIG.topology).fingerprint() == \
+            golden["topology_fingerprint"]
+
+    def test_non_paper_topologies_key_differently(self, golden):
+        # Fingerprints separate shapes: results computed on any
+        # non-paper membership can never collide with the pinned set.
+        for spec in ("1x2+1", "2x2", "2x2+3", "4x4+5"):
+            assert parse_topology(spec).fingerprint() != \
+                golden["topology_fingerprint"]
 
     def test_six_cases_pinned(self, golden):
         assert len(golden["digests"]) == 6

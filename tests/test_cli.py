@@ -253,7 +253,11 @@ class TestExecution:
         assert main(["bench-kernel", "--quick", "--events", "4000",
                      "--horizon", "1500", "--json", str(out)]) == 0
         assert "determinism" in capsys.readouterr().out
-        record = json.loads(out.read_text())
+        document = json.loads(out.read_text())
+        assert document["bench"] == "kernel"
+        assert document["trajectory"]
+        assert "recorded_at" in document["trajectory"][-1]
+        record = document["latest"]
         assert record["determinism"]["all"]
         assert set(record["microbench"]) == {"churn", "cancel_storm"}
         for bench in record["microbench"].values():

@@ -1,0 +1,140 @@
+"""Group views, the deterministic shadow election, the N-ary bound-map
+helpers, and the script-target resolution the runtime backends share."""
+
+import pytest
+
+from repro.runtime.script import member_targets, topology_script
+from repro.topology.election import CRASHED, DEPOSED, UP, elect_successor
+from repro.topology.engines import covered_by, merge_bounds, route
+from repro.topology.model import Topology, parse_topology
+from repro.topology.view import GroupView
+
+
+def statuses(topo, **overrides):
+    base = {m.role_id: UP for m in topo.members}
+    base.update(overrides)
+    return base
+
+
+class TestElection:
+    def test_prefers_lowest_rank(self):
+        topo = Topology.general(components=1, shadows=3, peers=1)
+        assert elect_successor(topo, 1, statuses(topo)) == "C1_sdw1"
+
+    def test_skips_crashed_shadows(self):
+        topo = Topology.general(components=1, shadows=3, peers=1)
+        got = elect_successor(topo, 1, statuses(topo, C1_sdw1=CRASHED))
+        assert got == "C1_sdw2"
+
+    def test_skips_deposed_shadows(self):
+        topo = Topology.general(components=1, shadows=2, peers=1)
+        got = elect_successor(topo, 1, statuses(topo, C1_sdw1=DEPOSED))
+        assert got == "C1_sdw2"
+
+    def test_no_eligible_shadow_returns_none(self):
+        topo = Topology.general(components=1, shadows=2, peers=1)
+        got = elect_successor(topo, 1, statuses(topo, C1_sdw1=CRASHED,
+                                                C1_sdw2=DEPOSED))
+        assert got is None
+
+    def test_per_component_isolation(self):
+        topo = Topology.general(components=2, shadows=2, peers=1)
+        s = statuses(topo, C1_sdw1=CRASHED)
+        assert elect_successor(topo, 1, s) == "C1_sdw2"
+        assert elect_successor(topo, 2, s) == "C2_sdw1"
+
+
+class TestGroupView:
+    def test_crash_restart_cycle(self):
+        topo = Topology.general(components=1, shadows=1, peers=1)
+        view = GroupView(topo)
+        assert view.epoch == 0
+        epoch = view.note_crash("C1_act")
+        assert epoch == 1 and not view.is_up("C1_act")
+        epoch = view.note_restart("C1_act")
+        assert epoch == 2 and view.is_up("C1_act")
+
+    def test_duplicate_status_does_not_bump_epoch(self):
+        view = GroupView(Topology.general(components=1, shadows=1, peers=1))
+        view.note_crash("C1_act")
+        assert view.note_crash("C1_act") == 1
+
+    def test_promotion_forces_new_epoch(self):
+        view = GroupView(Topology.general(components=1, shadows=2, peers=1))
+        before = view.epoch
+        view.note_promoted("C1_sdw1")
+        assert view.epoch == before + 1
+        assert view.acting_active(1) == "C1_sdw1"
+
+    def test_deposed_member_stays_deposed_across_restart(self):
+        view = GroupView(Topology.general(components=1, shadows=1, peers=1))
+        view.note_deposed("C1_act")
+        view.note_restart("C1_act")
+        assert view.status["C1_act"] == DEPOSED
+        assert view.acting_active(1) is None
+
+    def test_node_crash_marks_all_collocated_members(self):
+        topo = Topology.paper()
+        view = GroupView(topo)
+        view.node_crashed("N1a")
+        assert not view.is_up("P1_act")
+        assert view.is_up("P1_sdw") and view.is_up("P2")
+        assert view.in_service() == ("P1_sdw", "P2")
+
+    def test_elect_excludes_already_promoted_shadows(self):
+        view = GroupView(Topology.general(components=1, shadows=2, peers=1))
+        view.note_promoted("C1_sdw1")
+        assert view.elect(1) == "C1_sdw2"
+
+
+class TestBoundMaps:
+    def test_route_is_deterministic_and_total(self):
+        targets = ["P1", "P2", "P3"]
+        assert route(0, targets) == "P1"
+        assert route(4, targets) == "P2"
+        assert {route(s, targets) for s in range(9)} == set(targets)
+
+    def test_merge_takes_per_source_maximum(self):
+        merged = merge_bounds({"C1_act": 3, "C2_act": 1},
+                              {"C1_act": 2, "C2_act": 5})
+        assert merged == {"C1_act": 3, "C2_act": 5}
+
+    def test_merge_handles_none(self):
+        assert merge_bounds(None, {"C1_act": 1}) == {"C1_act": 1}
+        assert merge_bounds(None, None) == {}
+
+    def test_covered_by_requires_every_source(self):
+        assert covered_by({"C1_act": 2}, {"C1_act": 2})
+        assert not covered_by({"C1_act": 3}, {"C1_act": 2})
+        assert not covered_by({"C2_act": 1}, {"C1_act": 9})
+        assert covered_by({}, {})
+
+
+class TestScriptTargets:
+    def test_component_target_expands_to_active_and_shadows(self):
+        topo = parse_topology("1x2+1")
+        assert member_targets("C1", topo) == \
+            ("C1_act", "C1_sdw1", "C1_sdw2")
+
+    def test_peer_target_is_itself(self):
+        topo = parse_topology("1x1+2")
+        assert member_targets("P2", topo) == ("P2",)
+
+    def test_guarded_member_cannot_be_addressed_directly(self):
+        topo = parse_topology("1x1+1")
+        with pytest.raises(ValueError):
+            member_targets("C1_act", topo)
+
+    def test_topology_script_covers_every_component_and_a_crash(self):
+        topo = parse_topology("2x2+2")
+        script = topology_script(topo)
+        targets = {op.target for op in script if op.op == "internal"}
+        assert {"C1", "C2"} <= targets
+        ops = [op.op for op in script]
+        assert "crash" in ops and "restart" in ops
+        crashed = [op.target for op in script if op.op == "crash"]
+        assert crashed == [topo.peers()[0].node_id]
+
+    def test_topology_script_deterministic(self):
+        topo = parse_topology("2x1+2")
+        assert topology_script(topo) == topology_script(topo)
