@@ -8,6 +8,10 @@ Measures, via :mod:`repro.experiments.warmstart_bench`:
 * wall-clock of shrinking every violator the campaign found, cold vs
   warm — the same **3x** bar (shrink replays all share the violator's
   prefix, the warm-start best case);
+* wall-clock of a dense near-boundary campaign run warm vs flock
+  (``run_audit(..., flock=True)``) — asserting that suffix-forking off
+  a resident template beats the prefix-resume path by **at least 3x**
+  in its regime;
 * that acceleration is invisible: identical violation sets, identical
   error sets, identical shrink results (schedule, replays, memo hits),
   identical full-run canonical trace digests on a schedule sample, and
@@ -42,16 +46,22 @@ def test_warmstart_speedup_and_equivalence(bench_once):
     print()
     print(format_record(record))
     campaign, shrink = record["campaign"], record["shrink"]
+    flock = record["flock"]
     # The equivalence gates first: a fast wrong answer is worthless.
     assert campaign["violations_identical"], "warm campaign changed findings"
     assert campaign["errors_identical"], "warm campaign changed errors"
     assert campaign["violations"] > 0, "bench campaign found no violators"
     assert shrink["results_identical"], "warm shrink changed results"
     assert record["digests"]["identical"], record["digests"]["cases"]
+    assert flock["violations_identical"], "flock campaign changed findings"
+    assert flock["errors_identical"], "flock campaign changed errors"
+    assert flock["digests_identical"], "flock traces diverged from cold"
     assert record["golden"]["identical"] is not False, "golden digests moved"
-    # The acceptance criterion: >= 3x on both the campaign and shrink.
+    # The acceptance criteria: >= 3x on campaign and shrink (warm vs
+    # cold) and on the flock slice (fork vs warm).
     assert campaign["speedup"] >= MIN_SPEEDUP, campaign
     assert shrink["speedup"] >= MIN_SPEEDUP, shrink
+    assert flock["speedup"] >= MIN_SPEEDUP, flock
 
 
 # ----------------------------------------------------------------------
@@ -78,14 +88,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(format_record(record))
 
     failed = False
-    for phase in ("campaign", "shrink"):
+    for phase in ("campaign", "shrink", "flock"):
         speedup = record[phase]["speedup"]
         if speedup < MIN_SPEEDUP:
             print(f"FAIL: {phase} speedup {speedup:.2f}x < {MIN_SPEEDUP}x",
                   file=sys.stderr)
             failed = True
     if not record["equivalent"]:
-        print("FAIL: warm execution diverged from cold "
+        print("FAIL: accelerated execution diverged from cold "
               "(findings, shrink results, or digests)", file=sys.stderr)
         failed = True
     return 1 if failed else 0

@@ -288,13 +288,15 @@ def _cmd_audit(args) -> int:
     else:
         config = AuditConfig(scheme=args.scheme, seed=args.seed,
                              schedules=args.schedules, horizon=args.horizon,
-                             topology=args.topology)
+                             topology=args.topology, flock=args.flock,
+                             fork_batch=args.fork_batch)
         schedules = None
-        if args.warmstart:
-            # Warm-start trades per-schedule seed diversity for prefix
-            # reuse: generate the campaign once (reference timeline
-            # computed here, reused for image capture), then rewrite
-            # every schedule onto the shared system seed.
+        if args.warmstart or args.flock:
+            # Warm-start and flock both trade per-schedule seed
+            # diversity for prefix reuse: generate the campaign once
+            # (reference timeline computed here, reused for image
+            # capture), then rewrite every schedule onto the shared
+            # system seed.
             from .audit.generator import generate_schedules, reference_timeline
             from .warmstart import share_schedule_seeds
             timeline = reference_timeline(config)
@@ -302,7 +304,8 @@ def _cmd_audit(args) -> int:
                 config, generate_schedules(config, timeline=timeline))
     report = run_audit(config, workers=args.workers, shrink=args.shrink,
                        schedules=schedules, log=lambda msg: print(msg),
-                       warmstart=args.warmstart, timeline=timeline)
+                       warmstart=args.warmstart, timeline=timeline,
+                       flock=args.flock, fork_batch=args.fork_batch)
     print(format_audit_report(report))
     if args.out is not None:
         write_artifact(report, args.out)
@@ -622,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "full-system reference images (shared "
                             "campaign seed; identical findings, less "
                             "wall-clock)")
+    audit.add_argument("--flock", action="store_true",
+                       help="suffix-fork batch execution: one resident "
+                            "template per prefix group, forked per "
+                            "schedule (combine with --warmstart to thaw "
+                            "templates from images; identical findings)")
+    audit.add_argument("--fork-batch", type=int, default=32,
+                       help="flock shard size: prefix groups larger than "
+                            "this split across workers")
     audit.add_argument("--expect-violation", action="store_true",
                        help="exit 0 iff the audit FOUND violations "
                             "(naive-scheme and mutation CI)")

@@ -52,10 +52,37 @@ class ProcessView:
         return self.snapshot.app_state.corrupt
 
 
+#: Optional view memo, installed by flock group execution: checkpoints
+#: shared across a group's forks (the whole pre-fork prefix) decode to
+#: a view once instead of once per fork.  Entries pin the checkpoint
+#: with a strong reference so an ``id`` can never be reused while it is
+#: a key.  Views are read-only by contract (checkers only inspect
+#: them), which is what makes returning a shared instance sound.
+_VIEW_CACHE: Optional[Dict[int, tuple]] = None
+
+#: In-flock bound on memoized views (suffix checkpoints enter the cache
+#: too; they just never hit again, so the cache is periodically swept).
+_VIEW_CACHE_MAX = 4096
+
+
+def install_view_cache(cache: Optional[Dict[int, tuple]]) -> None:
+    """Install (or, with ``None``, remove) the process-wide view memo.
+
+    Only flock group execution installs one — for exactly the span of
+    one group, whose forks share their prefix checkpoints."""
+    global _VIEW_CACHE
+    _VIEW_CACHE = cache
+
+
 def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
     """Decode a checkpoint into a view (codec-registry lookup plus
     delta-chain replay happen inside ``restore_state``)."""
-    return ProcessView(
+    cache = _VIEW_CACHE
+    if cache is not None:
+        entry = cache.get(id(checkpoint))
+        if entry is not None and entry[0] is checkpoint:
+            return entry[1]
+    view = ProcessView(
         process_id=checkpoint.process_id,
         snapshot=checkpoint.restore_state(),
         taken_at=checkpoint.taken_at,
@@ -66,6 +93,11 @@ def view_from_checkpoint(checkpoint: Checkpoint) -> ProcessView:
                  if checkpoint.content is not None else None),
         meta=dict(checkpoint.meta),
         section_bytes=checkpoint.section_sizes())
+    if cache is not None:
+        if len(cache) >= _VIEW_CACHE_MAX:
+            cache.clear()
+        cache[id(checkpoint)] = (checkpoint, view)
+    return view
 
 
 def live_view(process: FtProcess) -> ProcessView:

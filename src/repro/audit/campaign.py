@@ -164,7 +164,9 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
               log: Optional[Callable[[str], None]] = None,
               warmstart: bool = False,
               image_store=None,
-              timeline=None) -> AuditReport:
+              timeline=None,
+              flock: Optional[bool] = None,
+              fork_batch: Optional[int] = None) -> AuditReport:
     """Run a full campaign: generate, fan out, optionally shrink.
 
     ``warmstart=True`` executes schedules by prefix-resume from
@@ -177,21 +179,47 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
     reference timeline is computed at most once per campaign and
     threaded into generation and image capture; callers that already
     have it pass ``timeline``.
+
+    ``flock`` (default: ``config.flock``) switches execution to
+    suffix-fork batching (:mod:`repro.flock`): each prefix group keeps
+    ONE resident template — thawed once from a warm-start image when
+    ``warmstart`` is also on, otherwise built directly from the
+    reference — and forks per-schedule copies from it.  Results stay
+    bit-for-bit identical to warm and cold.  ``fork_batch`` (default:
+    ``config.fork_batch``) shards large groups across workers.
     """
     emit = log or (lambda _msg: None)
     start = time.monotonic()
+    use_flock = config.flock if flock is None else bool(flock)
+    batch = config.fork_batch if fork_batch is None else int(fork_batch)
     if timeline is None and (schedules is None or warmstart):
         timeline = reference_timeline(config)
     if schedules is None:
         schedules = generate_schedules(config, timeline=timeline)
+    mode = "flock" if use_flock else ("warm" if warmstart else "cold")
     emit(f"auditing {len(schedules)} schedules "
          f"(scheme={config.scheme}, seed={config.seed}, "
-         f"workers={workers or 1}, warmstart={'on' if warmstart else 'off'})")
+         f"workers={workers or 1}, mode={mode})")
 
     config_dict = config.to_dict()
     runner = None
+    flock_runner = None
+    builder = None
     cleanup_root: Optional[str] = None
-    if warmstart:
+    if use_flock:
+        from ..flock import FlockRunner
+        store = image_store
+        if warmstart and workers is not None and workers > 1 and (
+                store is None or store.root is None):
+            # Workers thaw their shard's template through the filesystem.
+            import tempfile
+            from ..warmstart import ImageStore
+            cleanup_root = tempfile.mkdtemp(prefix="repro-flock-")
+            store = ImageStore(root=cleanup_root)
+        flock_runner = FlockRunner(config, store=store, timeline=timeline,
+                                   fork_batch=batch)
+        flock_runner.plan(schedules)
+    elif warmstart:
         from ..warmstart import ImageStore, WarmRunner
         store = image_store
         if workers is not None and workers > 1 and (
@@ -204,7 +232,38 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
         runner.plan(schedules)
 
     try:
-        if runner is not None and workers is not None and workers > 1:
+        if flock_runner is not None and workers is not None and workers > 1:
+            from ..flock import _run_flock_shard
+            root = None
+            if warmstart and flock_runner.store is not None:
+                # Build each shared prefix's image set once; workers
+                # decode each image at most once per shard.
+                from ..warmstart import WarmRunner
+                builder = WarmRunner(config, store=flock_runner.store,
+                                     timeline=timeline)
+                builder.plan(schedules)
+                built = set()
+                for sched in schedules:
+                    digest = builder._key(sched).digest()
+                    if digest not in built:
+                        built.add(digest)
+                        builder.ensure_images(sched)
+                if flock_runner.store.root is not None:
+                    root = str(flock_runner.store.root)
+            shards = flock_runner.shards(schedules)
+            items = [(config_dict,
+                      [schedules[i].to_dict() for i in shard], root, batch)
+                     for shard in shards]
+            shard_results = parallel_map(_run_flock_shard, items,
+                                         workers=workers)
+            ordered: List[Optional[Dict]] = [None] * len(schedules)
+            for shard, outcome in zip(shards, shard_results):
+                for idx, result in zip(shard, outcome or ()):
+                    ordered[idx] = result
+            results = [r for r in ordered if r is not None]
+        elif flock_runner is not None:
+            results = flock_runner.run_batch(schedules)
+        elif runner is not None and workers is not None and workers > 1:
             # Build each shared prefix once here, fan consumption out.
             from ..warmstart.engine import _run_one_schedule_warm
             built = set()
@@ -238,7 +297,13 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
             for entry in violations:
                 original = FaultSchedule.from_dict(entry["schedule"])
                 emit(f"shrinking {original.describe()}")
-                if runner is not None:
+                if flock_runner is not None:
+                    # Candidates keep subsets of the violator's faults:
+                    # one resident template, pre-dumped at its fault
+                    # instants, serves every replay.
+                    flock_runner.ensure_template(original)
+                    predicate = flock_runner.violates
+                elif runner is not None:
                     # Every shrink candidate shares the violator's
                     # prefix: always worth a reference image set.
                     runner.ensure_images(original, force=True)
@@ -264,7 +329,22 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
             shutil.rmtree(cleanup_root, ignore_errors=True)
 
     warm_stats = None
-    if runner is not None:
+    if flock_runner is not None:
+        warm_stats = flock_runner.stats()
+        warm_stats["mode"] = "flock"
+        warm_stats["fork_batch"] = batch
+        if builder is not None:
+            warm_stats["sets_built"] = builder.sets_built
+            warm_stats["image_build_seconds"] = round(
+                builder.build_seconds, 6)
+        if workers is not None and workers > 1:
+            warm_stats["worker_flock_runs"] = sum(
+                1 for r in results if r.get("flock"))
+        emit(f"flock: {flock_runner.flock_runs} forked / "
+             f"{flock_runner.cold_runs} cold coordinator runs, "
+             f"{flock_runner.templates_built} templates "
+             f"({flock_runner.fork_seconds:.2f}s forking)")
+    elif runner is not None:
         warm_stats = runner.stats()
         if workers is not None and workers > 1:
             warm_stats["worker_warm_runs"] = sum(

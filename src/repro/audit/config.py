@@ -77,6 +77,15 @@ class AuditConfig:
     #: campaign fingerprints — and the warm-start caches and golden
     #: digests keyed by them — are unchanged.
     topology: str = "paper"
+    #: Execute warm groups by suffix-forking off resident templates
+    #: (:mod:`repro.flock`) instead of thawing one image per schedule.
+    #: Pure execution strategy — findings, traces, and shrink results
+    #: are bit-for-bit identical — so, like ``fork_batch``, it is
+    #: excluded from :meth:`to_dict` and the campaign fingerprint.
+    flock: bool = False
+    #: Shard size for parallel flock campaigns: prefix groups larger
+    #: than this split across workers, one resident template per shard.
+    fork_batch: int = 32
 
     def __post_init__(self) -> None:
         from ..topology.model import parse_topology
@@ -95,6 +104,8 @@ class AuditConfig:
                 "horizon must cover at least two TB intervals")
         if not 0.0 <= self.boundary_fraction <= 1.0:
             raise ConfigurationError("boundary_fraction must be in [0, 1]")
+        if self.fork_batch < 1:
+            raise ConfigurationError("fork_batch must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -139,6 +150,11 @@ class AuditConfig:
             # Default topology is omitted so pre-topology fingerprints
             # (pinned goldens, warm-start cache keys) stay stable.
             del data["topology"]
+        # Execution-strategy knobs never enter a campaign's identity:
+        # the same schedules produce the same results cold, warm, or
+        # flocked, and fingerprints key caches and golden digests.
+        data.pop("flock", None)
+        data.pop("fork_batch", None)
         return data
 
     @classmethod

@@ -50,6 +50,7 @@ from ..app.faults import (
 from ..app.versions import HighConfidenceVersion, LowConfidenceVersion
 from ..app.workload import WorkloadConfig, WorkloadDriver, generate_actions
 from ..host import FtProcess, IncarnationCounter
+from ..messages.message import MsgIdAllocator
 from ..mdcd.modified import (
     ModifiedActiveEngine,
     ModifiedPeerEngine,
@@ -166,6 +167,10 @@ class System:
                 "coordinated scheme: the topology engines generalize the "
                 "modified MDCD algorithms")
         self.sim = Simulator(pooling=config.event_pooling)
+        #: Per-system message-id sequence.  Captured and thawed with the
+        #: system (warm-start images), so thawed and forked systems in
+        #: one OS process never share or reset global allocator state.
+        self.msg_ids = MsgIdAllocator()
         self.rng = RngRegistry(config.seed)
         self.trace = TraceRecorder(enabled=config.trace_enabled,
                                    categories=config.trace_categories)
@@ -257,6 +262,7 @@ class System:
             node=self.nodes[member.node_id], network=self.network,
             component=component, driver=driver, incarnation=self.incarnation,
             role=role, trace=self.trace)
+        process.msg_ids = self.msg_ids
         process.is_guarded_active = member.kind is MemberKind.ACTIVE
         process.journal_retention = max(self.config.journal_retention,
                                         4.0 * self.config.tb.interval)
@@ -444,8 +450,7 @@ class System:
         if self._started:
             return
         self._started = True
-        from ..messages.message import reset_msg_ids
-        reset_msg_ids()
+        self.msg_ids.reset()
         for proc in self.process_list():
             proc.start()
 

@@ -35,6 +35,7 @@ the horizon anyway.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 import time
@@ -53,6 +54,7 @@ from ..audit.golden import canonical_trace_lines, golden_digests, trace_digest
 from ..audit.schedule import FaultSchedule
 from ..audit.shrink import shrink_schedule
 from ..errors import AuditViolation
+from ..flock import FlockRunner
 from ..warmstart import (
     ImageStore,
     WarmRunner,
@@ -74,6 +76,21 @@ DIVERGENCE_WINDOW = 60.0
 
 #: How many schedules the digest cross-check phase replays both ways.
 DIGEST_SAMPLE = 8
+
+#: The flock regime: schedules diverging within this many seconds of
+#: the horizon, densified with jittered variants.  This is where
+#: suffix-fork wins over prefix-resume — a warm resume replays from the
+#: last captured image (tb-boundary spaced), a fork starts at the
+#: 1-second grid point right before the divergence.
+FLOCK_WINDOW = 12.0
+
+#: Jittered variants per qualifying schedule (sub-quantum offsets, so
+#: variants cluster on a handful of cached fork dumps).
+FLOCK_VARIANTS = 96
+
+#: How many flock-slice schedules get the full cold-vs-fork canonical
+#: trace digest comparison.
+FLOCK_DIGEST_SAMPLE = 4
 
 #: The pinned golden digests (relative to the repo root, where CI and
 #: the committed artifact live).
@@ -234,7 +251,122 @@ def digest_crosscheck(config: AuditConfig, schedules: List[FaultSchedule],
 
 
 # ----------------------------------------------------------------------
-# phase 4: the pinned Fig. 6 golden digests still hold
+# phase 4: the flock regime — suffix-fork vs prefix-resume
+# ----------------------------------------------------------------------
+def _jittered(schedule: FaultSchedule, offset: float, horizon: float,
+              variant: int) -> Optional[FaultSchedule]:
+    """``schedule`` with every fault instant shifted by ``offset``
+    (``None`` if any instant would leave the horizon)."""
+    software = tuple(dataclasses.replace(s, activate_at=s.activate_at + offset)
+                     for s in schedule.software)
+    crashes = tuple(dataclasses.replace(c, crash_at=c.crash_at + offset)
+                    for c in schedule.crashes)
+    times = ([s.activate_at for s in software] +
+             [c.crash_at for c in crashes])
+    if not times or max(times) >= horizon - 1.0 or min(times) <= 0.0:
+        return None
+    return dataclasses.replace(schedule, label=f"{schedule.label}~j{variant}",
+                               software=software, crashes=crashes)
+
+
+def flock_slice(config: AuditConfig, timeline,
+                variants: int = FLOCK_VARIANTS) -> List[FaultSchedule]:
+    """The flock-regime schedule list: every boundary schedule whose
+    faults all land within :data:`FLOCK_WINDOW` of the horizon,
+    densified with ``variants`` sub-quantum jittered copies each — the
+    dense near-boundary exploration flock batching exists for."""
+    cutoff = config.horizon - FLOCK_WINDOW
+    shared = share_schedule_seeds(config, boundary_schedules(config, timeline))
+    timed = [(sched, ([s.activate_at for s in sched.software] +
+                      [c.crash_at for c in sched.crashes]))
+             for sched in shared]
+    timed = [(sched, times) for sched, times in timed if times]
+    sources = [sched for sched, times in timed if min(times) >= cutoff]
+    if not sources:
+        # Short horizons may leave the strict window empty (no boundary
+        # probe lands that late); fall back to the latest-diverging
+        # schedules so reduced smoke runs still exercise the fork path.
+        timed.sort(key=lambda pair: min(pair[1]))
+        sources = [sched for sched, _times in timed[-3:]]
+    dense: List[FaultSchedule] = []
+    for sched in sources:
+        # Spread the variants over a fixed ~±3.7s band regardless of
+        # how many there are: denser exploration of the same boundary,
+        # not a wider one (wide bands leave the flock regime).  The
+        # step stays incommensurate with the 1s fork quantum, so
+        # variants cluster on a handful of dumps without aligning.
+        step = 7.44 / variants
+        for k in range(variants):
+            variant = _jittered(sched, (k - variants // 2) * step,
+                                config.horizon, k)
+            if variant is not None:
+                dense.append(variant)
+    return dense
+
+
+def measure_flock(config: AuditConfig, schedules: List[FaultSchedule],
+                  timeline, store: ImageStore,
+                  sample: int = FLOCK_DIGEST_SAMPLE) -> Dict[str, Any]:
+    """Cold, warm, and flock ``run_audit`` over the flock slice.
+
+    The headline ratio is warm/flock — the speedup of suffix-forking
+    over the resume path the campaign phase already benchmarked — with
+    cold/flock recorded alongside.  A digest sample replays schedules
+    cold and forked with ``fail_fast`` off and compares canonical
+    traces bit for bit.
+    """
+    start = time.perf_counter()
+    cold = run_audit(config, schedules=schedules, shrink=False)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_audit(config, schedules=schedules, shrink=False,
+                     warmstart=True, image_store=store, timeline=timeline)
+    warm_seconds = time.perf_counter() - start
+    # The flock run consumes the same pre-built image store the warm
+    # run did: each group's template thaws from the stored prefix image
+    # and advances only the remaining gap (the intended layering —
+    # decode each image once, fork per schedule).
+    start = time.perf_counter()
+    flock = run_audit(config, schedules=schedules, shrink=False,
+                      flock=True, warmstart=True, image_store=store,
+                      timeline=timeline)
+    flock_seconds = time.perf_counter() - start
+
+    runner = FlockRunner(config, timeline=timeline)
+    runner.plan(schedules)
+    digest_rows: List[Dict[str, Any]] = []
+    stride = max(1, len(schedules) // max(1, sample))
+    for sched in schedules[::stride][:sample]:
+        cold_digest = _cold_traced_digest(config, sched)
+        _findings, system = runner.traced_audit(sched, fail_fast=False)
+        digest_rows.append({
+            "label": sched.label, "digest": cold_digest,
+            "identical": cold_digest == trace_digest(
+                canonical_trace_lines(system)),
+        })
+    return {
+        "schedules": len(schedules),
+        "window": FLOCK_WINDOW,
+        "variants": FLOCK_VARIANTS,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "flock_seconds": flock_seconds,
+        "speedup": warm_seconds / max(flock_seconds, 1e-9),
+        "speedup_vs_cold": cold_seconds / max(flock_seconds, 1e-9),
+        "violations": len(cold.violations),
+        "violations_identical": (flock.violations == cold.violations
+                                 and warm.violations == cold.violations),
+        "errors_identical": (flock.errors == cold.errors
+                             and warm.errors == cold.errors),
+        "digests_identical": (all(r["identical"] for r in digest_rows)
+                              and bool(digest_rows)),
+        "digest_sampled": len(digest_rows),
+        "flock_stats": flock.warmstart,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 5: the pinned Fig. 6 golden digests still hold
 # ----------------------------------------------------------------------
 def golden_check(path: str = GOLDEN_PATH) -> Dict[str, Any]:
     """Recompute the golden-trace digests and compare to the pinned file."""
@@ -270,6 +402,8 @@ def bench_record(horizon: float = HORIZON,
     shrink = measure_shrink(config, violators, timeline, store)
     digests = digest_crosscheck(config, schedules, violators, error_labels,
                                 timeline, store, sample=digest_sample)
+    flock = measure_flock(config, flock_slice(config, timeline),
+                          timeline, store)
     golden = (golden_check(golden_path) if golden_path is not None
               else {"available": False, "path": None, "identical": None})
 
@@ -277,6 +411,9 @@ def bench_record(horizon: float = HORIZON,
                   and campaign["errors_identical"]
                   and shrink["results_identical"]
                   and digests["identical"]
+                  and flock["violations_identical"]
+                  and flock["errors_identical"]
+                  and flock["digests_identical"]
                   and golden["identical"] is not False)
     return {
         "bench": "warmstart",
@@ -287,6 +424,7 @@ def bench_record(horizon: float = HORIZON,
         "campaign": campaign,
         "shrink": shrink,
         "digests": digests,
+        "flock": flock,
         "golden": golden,
         "equivalent": equivalent,
     }
@@ -297,6 +435,7 @@ def format_record(record: Dict[str, Any]) -> str:
     campaign = record["campaign"]
     shrink = record["shrink"]
     digests = record["digests"]
+    flock = record.get("flock")
     golden = record["golden"]
     lines = [
         f"campaign: {campaign['schedules']} late-divergence schedules  "
@@ -311,6 +450,15 @@ def format_record(record: Dict[str, Any]) -> str:
         f" digests: {digests['sampled']} schedules cross-checked, "
         f"{digests['warm_resumes']} warm resumes -> "
         f"{'identical' if digests['identical'] else 'MISMATCH'}",
+    ]
+    if flock is not None:
+        lines.append(
+            f"   flock: {flock['schedules']} near-boundary schedules  "
+            f"warm {flock['warm_seconds']:.2f}s  "
+            f"flock {flock['flock_seconds']:.2f}s  "
+            f"({flock['speedup']:.2f}x vs warm, "
+            f"{flock['speedup_vs_cold']:.2f}x vs cold)")
+    lines += [
         f"  golden: " + (
             f"{golden['cases']} Fig. 6 cases -> "
             f"{'identical' if golden['identical'] else 'MISMATCH'}"
@@ -326,9 +474,10 @@ def trajectory_entry(record: Dict[str, Any],
     plot the speedup over time, small enough to accumulate forever."""
     campaign = record.get("campaign", {})
     shrink = record.get("shrink", {})
+    flock = record.get("flock")
     if recorded_at is None:
         recorded_at = bench_store.utc_stamp()
-    return {
+    entry = {
         "recorded_at": recorded_at,
         "python": record.get("python"),
         "fingerprint": record.get("fingerprint"),
@@ -338,6 +487,11 @@ def trajectory_entry(record: Dict[str, Any],
         "campaign_warm_seconds": campaign.get("warm_seconds"),
         "equivalent": record.get("equivalent"),
     }
+    # Records from before the flock phase existed stay compact.
+    if flock is not None:
+        entry["flock_speedup"] = flock.get("speedup")
+        entry["flock_seconds"] = flock.get("flock_seconds")
+    return entry
 
 
 def write_record(record: Dict[str, Any], path: str) -> None:

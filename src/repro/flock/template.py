@@ -1,0 +1,205 @@
+"""Resident fork templates: one live reference, many cheap futures.
+
+A :class:`ForkTemplate` holds a *live* fault-free ``(system, auditor)``
+pair — thawed once from a warm-start image, or built directly from the
+campaign config — and advances it along the reference timeline on
+demand.  At any clean position it can emit a compact dump (shared
+substructure factored out through the group's
+:class:`~repro.flock.fork.ForkContext`) and thaw any number of
+independent forks from it.
+
+Template lifetime rules:
+
+* **Advancement is monotone.**  The live pair only moves forward; a
+  fork at an earlier position comes from a *cached dump* taken when the
+  template was there (the grow-only context keeps old dumps decodable).
+* **Advancement stops mattering at the reference's first finding.**
+  A dump of a violated reference would bake the finding — and trace
+  past it — into every fork, which a cold run (fail-fast) would never
+  have produced.  ``advance_to`` refuses to advance a violated
+  template, and ``dump`` refuses to emit one; callers fork from the
+  last clean cached dump instead (a longer re-simulation, still
+  bit-for-bit correct).
+* **Forks never write back.**  A fork gets private copies of all
+  mutable state; the only objects it shares with the template are the
+  registered fork-safe ones (see :mod:`repro.flock.fork`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .fork import ForkContext, collect_shared
+
+#: Fork positions are quantized to this grid so schedules with nearby
+#: divergence times reuse one cached dump (boundary schedules cluster
+#: on the TB grid, making the hit rate high).
+FORK_QUANTUM = 1.0
+
+#: Margin subtracted before quantizing, guaranteeing the fork position
+#: lies strictly before the divergence instant.
+FORK_EPS = 1e-6
+
+#: How often (simulated seconds) advancement re-checks the reference
+#: for findings.  A violated reference can never serve another fork,
+#: so advancing it further is pure waste — chunked advancement bounds
+#: that waste (mutated protocols can violate on the fault-free
+#: reference itself) without touching the event-level execution, which
+#: is identical whether ``run`` is called once or in slices.
+ADVANCE_CHECK_INTERVAL = 10.0
+
+
+def fork_position(divergence: float, horizon: float,
+                  quantum: float = FORK_QUANTUM) -> float:
+    """The quantized template position to fork at for ``divergence``.
+
+    Strictly before the divergence instant; capped just short of the
+    horizon for fault-free schedules (``divergence == inf``)."""
+    limit = min(divergence, horizon) - FORK_EPS
+    return max(0.0, math.floor(limit / quantum) * quantum)
+
+
+class ForkTemplate:
+    """One resident reference run serving a flock group's forks."""
+
+    def __init__(self, system, auditor,
+                 context: Optional[ForkContext] = None) -> None:
+        self.system = system
+        self.auditor = auditor
+        if auditor is not None:
+            # The resident reference must never abort mid-advance.
+            auditor.fail_fast = False
+        self.context = context if context is not None else ForkContext()
+        #: Where the template was born (an image's capture instant, or
+        #: 0 for a from-scratch reference).  It can never serve a fork
+        #: position before this.
+        self.start_position = system.sim.now
+        self._dumps: Dict[float, bytes] = {}
+        self._trace_seen = collect_shared(self.context, system, auditor)
+        #: Wall-clock spent advancing the reference (shared work).
+        self.advance_seconds = 0.0
+        #: Wall-clock spent encoding dumps (amortized over forks).
+        self.dump_seconds = 0.0
+        self.forks = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_image(cls, image, context: Optional[ForkContext] = None
+                   ) -> "ForkTemplate":
+        """Thaw a template from a warm-start image (decoded **once**;
+        every fork of the group reuses the resident copy)."""
+        from ..warmstart.image import resume
+        system, auditor = resume(image, fail_fast=False)
+        return cls(system, auditor, context=context)
+
+    @classmethod
+    def from_reference(cls, config, schedule,
+                       context: Optional[ForkContext] = None
+                       ) -> "ForkTemplate":
+        """Build a template by constructing the fault-free reference
+        directly (no image set needed — the serial path)."""
+        from ..audit.auditor import OnlineAuditor
+        from ..audit.campaign import build_audit_system
+        from ..audit.schedule import FaultSchedule
+        probe = FaultSchedule(label="flock-ref",
+                              system_seed=schedule.system_seed,
+                              overrides=tuple(sorted(schedule.overrides)),
+                              origin="flock")
+        system = build_audit_system(config, probe)
+        auditor = OnlineAuditor(
+            system, fail_fast=False,
+            include_ground_truth=config.include_ground_truth)
+        return cls(system, auditor, context=context)
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> float:
+        return self.system.sim.now
+
+    @property
+    def clean(self) -> bool:
+        """Whether the reference has produced no finding yet."""
+        return self.auditor is None or not self.auditor.violated
+
+    def advance_to(self, t: float) -> bool:
+        """Advance the resident reference to ``t`` (monotone).
+
+        Returns whether the template is clean (dumpable) afterwards.
+        A violated template stops advancing — its current state is
+        useless for forking, so running it further is wasted work.
+        """
+        if not self.clean:
+            return False
+        if t > self.position:
+            begin = time.monotonic()
+            while self.position < t:
+                self.system.run(
+                    until=min(t, self.position + ADVANCE_CHECK_INTERVAL))
+                if not self.clean:
+                    break
+            self._trace_seen = collect_shared(
+                self.context, self.system, self.auditor, self._trace_seen)
+            self.advance_seconds += time.monotonic() - begin
+        return self.clean
+
+    # ------------------------------------------------------------------
+    def dump(self) -> bytes:
+        """The (cached) dump of the current clean position."""
+        if not self.clean:
+            raise RuntimeError("refusing to dump a violated reference "
+                               "(forks would inherit its finding)")
+        key = round(self.position, 6)
+        data = self._dumps.get(key)
+        if data is None:
+            begin = time.monotonic()
+            data = self.context.dumps(
+                {"system": self.system, "auditor": self.auditor})
+            self.dump_seconds += time.monotonic() - begin
+            self._dumps[key] = data
+        return data
+
+    def dump_positions(self) -> List[float]:
+        """Positions with a cached dump (ascending)."""
+        return sorted(self._dumps)
+
+    def dump_at(self, position: float) -> Optional[bytes]:
+        """The newest cached dump at or before ``position``, with its
+        position — or ``None`` when nothing early enough is cached."""
+        best: Optional[float] = None
+        for key in self._dumps:
+            if key <= position + FORK_EPS and (best is None or key > best):
+                best = key
+        if best is None:
+            return None
+        return self._dumps[best]
+
+    # ------------------------------------------------------------------
+    def fork(self, data: Optional[bytes] = None,
+             fail_fast: bool = True) -> Tuple[object, object]:
+        """Thaw one independent ``(system, auditor)`` fork.
+
+        ``data`` selects a cached dump (default: the current position).
+        The fork's auditor switches to the campaign's fail-fast mode;
+        the caller arms the schedule's faults on the copy, exactly as
+        the warm path arms them on a thawed image.
+        """
+        if data is None:
+            data = self.dump()
+        state = self.context.loads(data)
+        system, auditor = state["system"], state["auditor"]
+        if auditor is not None:
+            auditor.fail_fast = fail_fast
+        self.forks += 1
+        return system, auditor
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "forks": self.forks,
+            "dumps": len(self._dumps),
+            "dump_bytes": sum(len(d) for d in self._dumps.values()),
+            "shared_objects": len(self.context),
+            "advance_seconds": round(self.advance_seconds, 6),
+            "dump_seconds": round(self.dump_seconds, 6),
+        }

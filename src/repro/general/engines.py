@@ -194,7 +194,8 @@ class GeneralActiveEngine(ModifiedActiveEngine):
             self.process.request_software_recovery(
                 Message(kind=MessageKind.EXTERNAL, sender=self.process.process_id,
                         receiver=ProcessId("DEVICE"), payload=payload,
-                        corrupt=payload.corrupt))
+                        corrupt=payload.corrupt,
+                        msg_id=self.process.msg_ids.allocate()))
             return
         self.set_pseudo_dirty(0, reason="own-at")
         self.process.sn.allocate()
@@ -243,7 +244,8 @@ class GeneralShadowEngine(ProvenanceMixin, ModifiedShadowEngine):
         suppressed = Message(kind=kind, sender=self.process.process_id,
                              receiver=recipients[0], payload=payload, sn=sn,
                              dirty_bit=self.mdcd.dirty_bit,
-                             corrupt=payload.corrupt)
+                             corrupt=payload.corrupt,
+                             msg_id=self.process.msg_ids.allocate())
         self.process.msg_log.append(sn, suppressed, recipients=recipients)
         self.process.counters.bump("suppressed")
 
@@ -306,7 +308,8 @@ class GeneralPeerEngine(ProvenanceMixin, ModifiedPeerEngine):
                     Message(kind=MessageKind.EXTERNAL,
                             sender=self.process.process_id,
                             receiver=ProcessId("DEVICE"), payload=payload,
-                            corrupt=payload.corrupt))
+                            corrupt=payload.corrupt,
+                            msg_id=self.process.msg_ids.allocate()))
                 return
             bound = self.certify_own_state()
             self.process.send_external(payload, validated=True)

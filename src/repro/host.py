@@ -27,7 +27,9 @@ from .checkpoint import Checkpoint
 from .errors import StorageError
 from .journal import Journal
 from .messages.log import MessageLog
-from .messages.message import DEVICE, Message, passed_at_notification
+from .messages.message import (DEVICE, Message, MsgIdAllocator,
+                               passed_at_notification,
+                               _default_allocator as _default_msg_ids)
 from .messages.sequence import AckTracker, ReceiveDeduplicator, SequenceAllocator
 from .mdcd.state import MdcdState
 from .runtime import CounterSet, SimProcess, TraceRecorder
@@ -114,6 +116,12 @@ class FtProcess(SimProcess):
         self.driver = driver
         self.incarnation = incarnation
         self.mdcd = MdcdState()
+        #: Message-id allocator this process draws from.  The owning
+        #: :class:`~repro.coordination.scheme.System` installs its own
+        #: (one sequence per system, captured with warm-start images);
+        #: bare processes built outside a system fall back to the
+        #: module-wide test allocator.
+        self.msg_ids: MsgIdAllocator = _default_msg_ids
         self.sn = SequenceAllocator()
         self.acks = AckTracker()
         self.dedup = ReceiveDeduplicator()
@@ -265,7 +273,8 @@ class FtProcess(SimProcess):
                               ndc=ndc, dirty_bit=dirty_bit, taint_sn=taint_sn,
                               taint_map=dict(taint_map) if taint_map else None,
                               dsn=dsn, corrupt=payload.corrupt,
-                              incarnation=self.incarnation.value)
+                              incarnation=self.incarnation.value,
+                              msg_id=self.msg_ids.allocate())
             self.journal_sent.add(message, validated=validated, time=self.sim.now)
             self.acks.sent(message)
             self.transmit(message)
@@ -284,7 +293,8 @@ class FtProcess(SimProcess):
         message = Message(kind=MessageKind.EXTERNAL, sender=self.process_id,
                           receiver=DEVICE, payload=payload,
                           corrupt=payload.corrupt,
-                          incarnation=self.incarnation.value)
+                          incarnation=self.incarnation.value,
+                          msg_id=self.msg_ids.allocate())
         self.journal_sent.add(message, validated=validated, time=self.sim.now)
         self.transmit(message)
         self.counters.bump("sent.external")
@@ -298,7 +308,8 @@ class FtProcess(SimProcess):
         sent = []
         for receiver in receivers:
             message = passed_at_notification(self.process_id, receiver, msg_sn, ndc,
-                                             bound_map=bound_map)
+                                             bound_map=bound_map,
+                                             msg_id=self.msg_ids.allocate())
             message.incarnation = self.incarnation.value
             self.transmit(message)
             sent.append(message)
@@ -313,7 +324,7 @@ class FtProcess(SimProcess):
         tracker: the original's ack can never arrive (its delivery is
         fenced or was lost), so keeping it would leak.
         """
-        clone = message.clone_for_resend()
+        clone = message.clone_for_resend(self.msg_ids)
         clone.incarnation = self.incarnation.value
         self.acks.acked(message.msg_id)
         self.acks.sent(clone)

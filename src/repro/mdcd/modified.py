@@ -59,7 +59,8 @@ class ModifiedActiveEngine(MdcdEngineBase):
             self.process.request_software_recovery(
                 Message(kind=MessageKind.EXTERNAL, sender=self.process.process_id,
                         receiver=ProcessId("DEVICE"), payload=payload,
-                        corrupt=payload.corrupt))
+                        corrupt=payload.corrupt,
+                        msg_id=self.process.msg_ids.allocate()))
             return
         self.set_pseudo_dirty(0, reason="own-at")
         self.process.sn.allocate()
@@ -147,7 +148,8 @@ class ModifiedShadowEngine(MdcdEngineBase):
         suppressed = Message(kind=kind, sender=self.process.process_id,
                              receiver=receiver, payload=payload, sn=sn,
                              dirty_bit=self.mdcd.dirty_bit,
-                             corrupt=payload.corrupt)
+                             corrupt=payload.corrupt,
+                             msg_id=self.process.msg_ids.allocate())
         self.process.msg_log.append(sn, suppressed)
         self.process.counters.bump("suppressed")
 
@@ -206,7 +208,8 @@ class ModifiedPeerEngine(MdcdEngineBase):
                     Message(kind=MessageKind.EXTERNAL,
                             sender=self.process.process_id,
                             receiver=ProcessId("DEVICE"), payload=payload,
-                            corrupt=payload.corrupt))
+                            corrupt=payload.corrupt,
+                            msg_id=self.process.msg_ids.allocate()))
                 return
             self.set_dirty(0, reason="own-at")
             self._advance_valid_bound(self.mdcd.msg_sn_p1act)

@@ -53,7 +53,8 @@ class OriginalActiveEngine(MdcdEngineBase):
             self.process.request_software_recovery(
                 Message(kind=MessageKind.EXTERNAL, sender=self.process.process_id,
                         receiver=ProcessId("DEVICE"), payload=payload,
-                        corrupt=payload.corrupt))
+                        corrupt=payload.corrupt,
+                        msg_id=self.process.msg_ids.allocate()))
             return
         self.process.sn.allocate()
         self.validate_knowledge(p1act_sn=self.process.sn.current)
@@ -110,7 +111,8 @@ class OriginalShadowEngine(MdcdEngineBase):
         suppressed = Message(kind=kind, sender=self.process.process_id,
                              receiver=receiver, payload=payload, sn=sn,
                              dirty_bit=self.mdcd.dirty_bit,
-                             corrupt=payload.corrupt)
+                             corrupt=payload.corrupt,
+                             msg_id=self.process.msg_ids.allocate())
         self.process.msg_log.append(sn, suppressed)
         self.process.counters.bump("suppressed")
 
@@ -177,7 +179,8 @@ class OriginalPeerEngine(MdcdEngineBase):
                     Message(kind=MessageKind.EXTERNAL,
                             sender=self.process.process_id,
                             receiver=ProcessId("DEVICE"), payload=payload,
-                            corrupt=payload.corrupt))
+                            corrupt=payload.corrupt,
+                            msg_id=self.process.msg_ids.allocate()))
                 return
             self.set_dirty(0, reason="own-at")
             self.validate_knowledge(p1act_sn=self.mdcd.msg_sn_p1act)

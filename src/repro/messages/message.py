@@ -12,7 +12,6 @@ checkers (to judge the protocol's conservatism).
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from typing import Any, Optional
 
 from ..types import MessageKind, ProcessId
@@ -20,29 +19,54 @@ from ..types import MessageKind, ProcessId
 #: Destination pseudo-process for external messages (devices / ground).
 DEVICE: ProcessId = ProcessId("DEVICE")
 
-_msg_ids = itertools.count(1)
+
+class MsgIdAllocator:
+    """A message-id sequence owned by one :class:`~repro.coordination
+    .scheme.System`.
+
+    Ids only need to be unique within one system, but they must be a
+    deterministic function of *that system's* execution — audit
+    findings and golden traces are byte-identical whether a schedule
+    runs first, last, or in a worker subprocess.  Making the allocator
+    per-system state (captured and thawed with the rest of the system
+    in warm-start images) lets many thawed systems coexist in one OS
+    process with no global resets: flock forks interleave freely.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_id = start
+
+    def allocate(self) -> int:
+        """Consume and return the next message id."""
+        mid = self.next_id
+        self.next_id = mid + 1
+        return mid
+
+    def position(self) -> int:
+        """The next id :meth:`allocate` would hand out (not consumed)."""
+        return self.next_id
+
+    def reset(self, start: int = 1) -> None:
+        """Restart the sequence (system build / resume bookkeeping)."""
+        self.next_id = start
+
+
+#: Fallback allocator for messages constructed outside any system
+#: (direct ``Message(...)`` construction in unit tests and fixtures).
+#: Run-time send paths all draw from their system's own allocator.
+_default_allocator = MsgIdAllocator()
 
 
 def msg_id_position() -> int:
-    """The next message id the allocator would hand out (peeked without
-    consuming it).  Warm-start images capture this so a resumed run
-    allocates the exact ids the cold run would."""
-    import copy
-    return next(copy.copy(_msg_ids))
+    """The next message id the *fallback* allocator would hand out."""
+    return _default_allocator.position()
 
 
 def reset_msg_ids(start: int = 1) -> None:
-    """Restart the global message-id allocator.
-
-    ``System.start`` calls this so that message ids are a deterministic
-    function of one run, not of how many messages *earlier* runs in the
-    same OS process allocated — audit findings and golden traces must
-    be byte-identical whether a schedule runs first, last, or in a
-    worker subprocess.  Ids only need to be unique within one system;
-    no repo code runs two systems' event loops interleaved.
-    """
-    global _msg_ids
-    _msg_ids = itertools.count(start)
+    """Restart the fallback message-id allocator (tests, fixtures)."""
+    _default_allocator.reset(start)
 
 
 @dataclasses.dataclass
@@ -119,7 +143,8 @@ class Message:
     corrupt: bool = False
     resend_of: Optional[int] = None
     incarnation: int = 0
-    msg_id: int = dataclasses.field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = dataclasses.field(
+        default_factory=lambda: _default_allocator.allocate())
     send_time: float = 0.0
     #: Time of the logical message's *first* transmission (preserved by
     #: recovery re-sends).  Journals timestamp records with this, so the
@@ -145,14 +170,18 @@ class Message:
             return (str(self.sender), str(self.receiver), self.dsn)
         return self.resend_of if self.resend_of is not None else self.msg_id
 
-    def clone_for_resend(self) -> "Message":
+    def clone_for_resend(self,
+                         allocator: Optional[MsgIdAllocator] = None
+                         ) -> "Message":
         """A fresh transmission of the same logical message.
 
         The clone gets a new ``msg_id`` (it is a distinct transmission
-        for ack purposes) but remembers the original in ``resend_of``.
+        for ack purposes) from ``allocator`` — the sending system's —
+        but remembers the original in ``resend_of``.
         """
+        chosen = allocator if allocator is not None else _default_allocator
         return dataclasses.replace(
-            self, msg_id=next(_msg_ids),
+            self, msg_id=chosen.allocate(),
             resend_of=self.dedup_key,
         )
 
@@ -172,7 +201,8 @@ class Message:
 
 def passed_at_notification(sender: ProcessId, receiver: ProcessId,
                            msg_sn: Optional[int], ndc: Optional[int],
-                           bound_map: Optional[dict] = None) -> Message:
+                           bound_map: Optional[dict] = None,
+                           msg_id: Optional[int] = None) -> Message:
     """Build a "passed AT" notification (one per recipient).
 
     ``msg_sn`` is the sequence number of the last message of ``P1_act``
@@ -180,8 +210,12 @@ def passed_at_notification(sender: ProcessId, receiver: ProcessId,
     the sender's current stable-checkpoint epoch.  ``bound_map`` is the
     per-source form of ``msg_sn`` in N-component topologies: each
     guarded active's role id mapped to the highest sequence number of
-    that active the validation certifies.
+    that active the validation certifies.  ``msg_id`` lets the sender
+    pass an id from its system's allocator (the fallback allocator
+    serves callers that omit it).
     """
+    extra = {} if msg_id is None else {"msg_id": msg_id}
     return Message(kind=MessageKind.PASSED_AT, sender=sender, receiver=receiver,
                    payload=None, sn=msg_sn, ndc=ndc,
-                   taint_map=dict(bound_map) if bound_map else None)
+                   taint_map=dict(bound_map) if bound_map else None,
+                   **extra)

@@ -189,8 +189,35 @@ def _is_sectioned(state: Any) -> bool:
                for f in dataclasses.fields(state))
 
 
+#: Optional chain-resolution memo, installed by flock group execution.
+#: Maps ``id(payload)`` of an already-resolved *delta* payload to the
+#: payload (pinned, so the id stays valid) plus its re-encoded **full**
+#: bytes.  A memoized resolve costs one codec decode instead of a
+#: replay of up to ``max_chain`` layers — and because the cache stores
+#: bytes, every caller still receives a fresh private value, so the
+#: mutating consumers (delta application, process restores) stay safe.
+_RESOLVE_CACHE: Optional[Dict[int, tuple]] = None
+
+_RESOLVE_CACHE_MAX = 2048
+
+
+def install_resolve_cache(cache: Optional[Dict[int, tuple]]) -> None:
+    """Install (or, with ``None``, remove) the chain-resolution memo.
+    Flock group execution scopes one to each group, whose forks share —
+    and repeatedly decode — their prefix's payload chains."""
+    global _RESOLVE_CACHE
+    _RESOLVE_CACHE = cache
+
+
 def _resolve_section(payload: SectionPayload) -> Dict[str, Any]:
     """Decode one section, replaying its delta chain if present."""
+    if payload.full:
+        return get_codec(payload.codec_id).decode(payload.data)
+    cache = _RESOLVE_CACHE
+    if cache is not None:
+        entry = cache.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            return get_codec(entry[2]).decode(entry[1])
     chain = []
     node: Optional[SectionPayload] = payload
     while node is not None and not node.full:
@@ -204,6 +231,14 @@ def _resolve_section(payload: SectionPayload) -> Dict[str, Any]:
         delta_value = get_codec(delta_payload.codec_id).decode(
             delta_payload.data)
         value = _apply_section_delta(delta_payload.section, value, delta_value)
+    if cache is not None:
+        if len(cache) >= _RESOLVE_CACHE_MAX:
+            cache.clear()
+        codec = get_codec(payload.codec_id)
+        data, _nbytes = encode_value(value, codec)
+        cache[id(payload)] = (payload, data, codec.codec_id)
+        # ``value`` stays private (the cache holds independent bytes),
+        # so handing it to the mutating caller is still sound.
     return value
 
 

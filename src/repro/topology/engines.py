@@ -114,7 +114,8 @@ class TopologyActiveEngine(MdcdEngineBase):
             self.process.request_software_recovery(
                 Message(kind=MessageKind.EXTERNAL, sender=self.process.process_id,
                         receiver=ProcessId("DEVICE"), payload=payload,
-                        corrupt=payload.corrupt))
+                        corrupt=payload.corrupt,
+                        msg_id=self.process.msg_ids.allocate()))
             return
         self.set_pseudo_dirty(0, reason="own-at")
         self.process.sn.allocate()
@@ -186,7 +187,8 @@ class TopologyShadowEngine(MdcdEngineBase):
         suppressed = Message(kind=kind, sender=self.process.process_id,
                              receiver=recipients[0], payload=payload, sn=sn,
                              dirty_bit=self.mdcd.dirty_bit,
-                             corrupt=payload.corrupt)
+                             corrupt=payload.corrupt,
+                             msg_id=self.process.msg_ids.allocate())
         self.process.msg_log.append(sn, suppressed, recipients=recipients)
         self.process.counters.bump("suppressed")
 
@@ -358,7 +360,8 @@ class TopologyPeerEngine(MdcdEngineBase):
                     Message(kind=MessageKind.EXTERNAL,
                             sender=self.process.process_id,
                             receiver=ProcessId("DEVICE"), payload=payload,
-                            corrupt=payload.corrupt))
+                            corrupt=payload.corrupt,
+                            msg_id=self.process.msg_ids.allocate()))
                 return
             bounds = self.certify_own_state()
             self.process.send_external(payload, validated=True)

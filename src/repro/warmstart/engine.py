@@ -189,6 +189,11 @@ class WarmRunner:
         self.cold_runs = 0
         self.sets_built = 0
         self.build_seconds = 0.0
+        #: Wall-clock decoding images back into live systems (the cost
+        #: the flock path amortizes to once per group).
+        self.decode_seconds = 0.0
+        #: Wall-clock running audited suffixes (and cold fallbacks).
+        self.run_seconds = 0.0
 
     # ------------------------------------------------------------------
     def _key(self, schedule) -> PrefixKey:
@@ -263,8 +268,11 @@ class WarmRunner:
                 include_ground_truth=self.config.include_ground_truth)
         else:
             self.warm_runs += 1
+            begin = time.monotonic()
             system, auditor = resume(image, fail_fast=fail_fast)
+            self.decode_seconds += time.monotonic() - begin
             schedule.arm(system)
+        begin = time.monotonic()
         try:
             system.run()
         except AuditViolation:
@@ -273,6 +281,7 @@ class WarmRunner:
             auditor.finalize()
         except AuditViolation:
             pass
+        self.run_seconds += time.monotonic() - begin
         return auditor.findings, system
 
     def violates(self, schedule) -> bool:
@@ -288,7 +297,9 @@ class WarmRunner:
         stats: Dict[str, float] = {
             "warm_runs": self.warm_runs, "cold_runs": self.cold_runs,
             "sets_built": self.sets_built,
-            "build_seconds": round(self.build_seconds, 6)}
+            "build_seconds": round(self.build_seconds, 6),
+            "decode_seconds": round(self.decode_seconds, 6),
+            "run_seconds": round(self.run_seconds, 6)}
         stats.update(self.store.stats())
         return stats
 

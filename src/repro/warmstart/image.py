@@ -6,9 +6,10 @@ cancellations), every RNG stream at its exact position (including the
 batched-uniform buffers), clocks, timers, nodes, stores, processes, the
 trace recorder with its records so far, any already-armed fault
 injectors — and, optionally, the online auditor wired into the trace.
-The one piece of state that lives *outside* the system object graph,
-the global message-id allocator, is captured alongside and restored on
-resume.
+The message-id allocator is per-system state (``System.msg_ids``) and
+travels inside the graph, so any number of thawed systems coexist in
+one OS process without touching global allocator state; its position is
+additionally recorded beside the payload for older images.
 
 The contract (asserted by the warm-start tests and the bench's digest
 cross-checks): ``resume(capture(system))`` followed by running to the
@@ -60,10 +61,14 @@ def capture(system, auditor=None, codec: str = "pickle",
     recorder, process list) stay shared on resume.
     """
     enc = get_codec(codec)
+    own_ids = getattr(system, "msg_ids", None)
     state = {
         "system": system,
         "auditor": auditor,
-        "next_msg_id": msg_id_position(),
+        # Redundant with system.msg_ids (pickled in the graph) but kept
+        # for images decoded by older readers.
+        "next_msg_id": (own_ids.position() if own_ids is not None
+                        else msg_id_position()),
     }
     payload = enc.encode(state)
     return SystemImage(
@@ -80,9 +85,12 @@ def capture(system, auditor=None, codec: str = "pickle",
 def resume(image: SystemImage, fail_fast: bool = False):
     """Thaw an independent ``(system, auditor)`` copy from ``image``.
 
-    Restores the global message-id allocator to its captured position
-    (``System.start`` is a no-op on a resumed system, so the reset it
-    normally performs must come from here).  ``fail_fast`` configures
+    The thawed system carries its own message-id allocator at its
+    captured position, so resuming mutates **no** process-global state
+    — two images thawed side by side allocate independent,
+    cold-identical id sequences.  (Images captured before allocators
+    became per-system state fall back to restoring the module-wide
+    allocator from the recorded position.)  ``fail_fast`` configures
     the thawed auditor — the captured reference auditor always ran with
     ``fail_fast=False`` so the capture itself could never abort.
     ``auditor`` is ``None`` when the image was captured without one.
@@ -91,7 +99,8 @@ def resume(image: SystemImage, fail_fast: bool = False):
     state = dec.decode(image.payload)
     system = state["system"]
     auditor = state["auditor"]
-    reset_msg_ids(state["next_msg_id"])
+    if getattr(system, "msg_ids", None) is None:
+        reset_msg_ids(state["next_msg_id"])
     if auditor is not None:
         auditor.fail_fast = fail_fast
     return system, auditor

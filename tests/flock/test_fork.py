@@ -1,0 +1,93 @@
+"""Fork-context tests: shared-table growth, dump stability, registry."""
+
+from repro.audit.campaign import build_audit_system
+from repro.audit.config import AuditConfig
+from repro.audit.schedule import FaultSchedule
+from repro.flock import ForkContext, collect_shared
+from repro.flock.fork import SHARED_STR_MIN
+
+SMALL = AuditConfig(scheme="coordinated", seed=11, schedules=8,
+                    horizon=120.0, tb_interval=20.0)
+
+
+def _reference_system(until: float = 40.0):
+    sched = FaultSchedule(label="ref", system_seed=3, origin="test")
+    system = build_audit_system(SMALL, sched)
+    system.run(until=until)
+    return system
+
+
+class TestForkContext:
+    def test_share_round_trip_preserves_identity(self):
+        context = ForkContext()
+        shared = {"k": [1, 2, 3]}
+        context.share(shared)
+        data = context.dumps({"inner": shared, "plain": [4, 5]})
+        state = context.loads(data)
+        assert state["inner"] is shared          # shared: same object
+        assert state["plain"] == [4, 5]          # private: fresh copy
+
+    def test_table_is_grow_only(self):
+        """Dumps taken early must stay decodable after the table grows
+        — the shrink path forks from dumps cached before later
+        advancement registered more shared objects."""
+        context = ForkContext()
+        first = {"gen": 1}
+        context.share(first)
+        early = context.dumps({"ref": first})
+        for i in range(50):
+            context.share({"gen": i + 2})
+        assert context.loads(early)["ref"] is first
+
+    def test_long_strings_are_interned(self):
+        context = ForkContext()
+        label = "x" * (SHARED_STR_MIN + 4)
+        context.share(label)
+        out = context.loads(context.dumps({"label": label}))
+        assert out["label"] is label
+
+    def test_short_strings_stay_inline(self):
+        """Sub-threshold strings are not worth a table indirection."""
+        context = ForkContext()
+        label = "ab"
+        context.share(label)
+        data = context.dumps({"label": label})
+        assert context.loads(data)["label"] == "ab"
+
+    def test_unshared_objects_copy(self):
+        context = ForkContext()
+        private = {"mutable": True}
+        out = context.loads(context.dumps({"p": private}))
+        assert out["p"] == private and out["p"] is not private
+
+
+class TestCollectShared:
+    def test_registers_config_and_prefix_state(self):
+        system = _reference_system()
+        context = ForkContext()
+        seen = collect_shared(context, system)
+        assert len(context) > 0
+        assert seen == len(system.trace._records)
+
+    def test_incremental_trace_registration(self):
+        system = _reference_system(until=30.0)
+        context = ForkContext()
+        seen = collect_shared(context, system)
+        before = len(context)
+        system.run(until=60.0)
+        seen2 = collect_shared(context, system, trace_seen=seen)
+        assert seen2 == len(system.trace._records) > seen
+        assert len(context) > before
+
+    def test_forked_copy_shares_trace_records_not_the_list(self):
+        system = _reference_system()
+        context = ForkContext()
+        collect_shared(context, system)
+        copy = context.loads(context.dumps({"system": system}))["system"]
+        assert copy.trace._records is not system.trace._records
+        assert all(a is b for a, b in zip(copy.trace._records,
+                                          system.trace._records))
+        # Suffix records appended to the copy never touch the template.
+        n = len(system.trace._records)
+        copy.run(until=50.0)
+        assert len(system.trace._records) == n

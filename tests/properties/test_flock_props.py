@@ -1,0 +1,115 @@
+"""Property: flock fork ≡ warm resume ≡ cold replay, bit for bit.
+
+For random fault schedules over random memberships, the same schedule
+executed three ways — cold from scratch, warm-resumed from a prefix
+image, and forked off a resident flock template — must produce the
+same auditor findings and the same canonical trace digest.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.auditor import OnlineAuditor
+from repro.audit.campaign import build_audit_system
+from repro.audit.config import AuditConfig
+from repro.audit.golden import canonical_trace_lines, trace_digest
+from repro.audit.schedule import CrashSpec, FaultSchedule, SoftwareFaultSpec
+from repro.errors import AuditViolation
+from repro.flock import ForkTemplate, fork_position
+from repro.warmstart import (
+    build_image_set,
+    capture_times,
+    divergence_time,
+    resume,
+    share_schedule_seeds,
+)
+
+TOPOLOGIES = ("paper", "2x2", "3x1")
+
+_CONFIGS = {}
+_IMAGE_SETS = {}
+
+
+def _config(topology: str) -> AuditConfig:
+    if topology not in _CONFIGS:
+        _CONFIGS[topology] = AuditConfig(
+            scheme="coordinated", seed=11, schedules=8,
+            horizon=120.0, tb_interval=20.0, topology=topology)
+    return _CONFIGS[topology]
+
+
+def _seed(config: AuditConfig) -> int:
+    return share_schedule_seeds(
+        config, [FaultSchedule(label="probe", system_seed=0,
+                               origin="test")])[0].system_seed
+
+
+def _image_set(config: AuditConfig):
+    key = config.topology
+    if key not in _IMAGE_SETS:
+        _IMAGE_SETS[key] = build_image_set(
+            config, _seed(config), times=capture_times(config))
+    return _IMAGE_SETS[key]
+
+
+def _nodes(config: AuditConfig):
+    from repro.topology.model import parse_topology
+    return [str(n) for n in parse_topology(config.topology).node_ids()]
+
+
+def _run(system, auditor):
+    try:
+        system.run()
+    except AuditViolation:
+        pass
+    try:
+        auditor.finalize()
+    except AuditViolation:
+        pass
+    return ([f.to_dict() for f in auditor.findings],
+            trace_digest(canonical_trace_lines(system)))
+
+
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_flock_equals_resume_equals_cold(data):
+    config = _config(data.draw(st.sampled_from(TOPOLOGIES), label="topo"))
+    faults = []
+    if data.draw(st.booleans(), label="software?"):
+        faults.append(SoftwareFaultSpec(
+            activate_at=float(data.draw(st.integers(25, 110), label="sw"))))
+    n_crashes = data.draw(st.integers(0 if faults else 1, 2), label="crashes")
+    nodes = _nodes(config)
+    for i in range(n_crashes):
+        faults.append(CrashSpec(
+            node_id=data.draw(st.sampled_from(nodes), label=f"n{i}"),
+            crash_at=float(data.draw(st.integers(25, 110), label=f"c{i}")),
+            repair_time=2.0))
+    sched = FaultSchedule(
+        label="prop", system_seed=_seed(config),
+        software=tuple(f for f in faults
+                       if isinstance(f, SoftwareFaultSpec)),
+        crashes=tuple(f for f in faults if isinstance(f, CrashSpec)),
+        origin="test")
+    divergence = divergence_time(sched)
+
+    # Cold: the ground truth.
+    cold_sys = build_audit_system(config, sched)
+    cold = _run(cold_sys, OnlineAuditor(cold_sys, fail_fast=False))
+
+    # Warm: resume the newest image strictly before divergence.
+    image = max((img for img in _image_set(config)
+                 if img.captured_at < divergence),
+                key=lambda img: img.captured_at)
+    warm_sys, warm_auditor = resume(image, fail_fast=False)
+    sched.arm(warm_sys)
+    warm = _run(warm_sys, warm_auditor)
+
+    # Flock: fork off a resident template at the quantized position.
+    template = ForkTemplate.from_reference(config, sched)
+    assert template.advance_to(fork_position(divergence, config.horizon))
+    flock_sys, flock_auditor = template.fork(fail_fast=False)
+    sched.arm(flock_sys)
+    flock = _run(flock_sys, flock_auditor)
+
+    assert warm == cold
+    assert flock == cold

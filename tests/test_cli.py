@@ -50,6 +50,17 @@ class TestParser:
         assert args.warmstart
         assert args.shrink
 
+    def test_audit_flock_flags(self):
+        args = build_parser().parse_args(
+            ["audit", "--scheme", "naive", "--flock", "--fork-batch", "16"])
+        assert args.flock
+        assert args.fork_batch == 16
+
+    def test_audit_flock_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert not args.flock
+        assert args.fork_batch == 32
+
     def test_bench_warmstart_flags(self):
         args = build_parser().parse_args(
             ["bench-warmstart", "--horizon", "450",
@@ -299,9 +310,41 @@ class TestExecution:
                      "--schedules", "40", "--warmstart",
                      "--expect-violation"]) == 0
         out = capsys.readouterr().out
-        assert "warmstart=on" in out
+        assert "mode=warm" in out
         assert "warm" in out and "image sets" in out
         assert "VIOLATION" in out
+
+    def test_audit_flock_finds_violations(self, capsys):
+        assert main(["audit", "--scheme", "naive", "--seed", "7",
+                     "--schedules", "40", "--flock",
+                     "--expect-violation"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=flock" in out
+        assert "forked" in out and "templates" in out
+        assert "VIOLATION" in out
+
+    def test_bench_warmstart_reduced_writes_record(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "BENCH_warmstart.json"
+        assert main(["bench-warmstart", "--horizon", "300",
+                     "--json", str(out)]) == 0
+        assert "flock" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["bench"] == "warmstart"
+        assert "flock_speedup" in document["trajectory"][-1]
+        record = document["latest"]
+        assert record["equivalent"]
+        # The per-phase timing telemetry is surfaced in the record:
+        # decode/run for the warm path, build/fork/run for flock.
+        warm_stats = record["campaign"]["warmstart"]
+        for field in ("decode_seconds", "run_seconds", "build_seconds"):
+            assert field in warm_stats, field
+        flock = record["flock"]
+        assert flock["violations_identical"] and flock["digests_identical"]
+        for field in ("fork_seconds", "run_seconds", "advance_seconds",
+                      "decode_seconds", "build_seconds",
+                      "dump_encode_seconds", "forks", "dumps"):
+            assert field in flock["flock_stats"], field
 
     def test_audit_coordinated_small_campaign_clean(self, capsys):
         assert main(["audit", "--scheme", "coordinated", "--seed", "7",

@@ -105,16 +105,49 @@ class TestRoundTrip:
         assert trace_digest(canonical_trace_lines(thawed)) == \
             _cold_digest(schedule, pooling=True)
 
-    def test_msg_id_allocator_restored(self):
+    def test_msg_id_allocator_travels_with_the_system(self):
         system = build_audit_system(SMALL, _schedule())
         system.run(until=60.0)
+        at_capture = system.msg_ids.position()
         image = capture(system)
-        at_capture = msg_id_position()
-        system.run()  # the donor advances the global allocator...
-        assert msg_id_position() > at_capture
-        resume(image)
-        # ...and resume winds it back to the captured position.
-        assert msg_id_position() == at_capture
+        global_before = msg_id_position()
+        thawed, _ = resume(image)
+        # Resume touches no process-global allocator state...
+        assert msg_id_position() == global_before
+        # ...because the thawed system carries its own allocator, at
+        # the captured position, independent of the donor's.
+        assert thawed.msg_ids.position() == at_capture
+        assert thawed.msg_ids is not system.msg_ids
+        system.run()
+        assert thawed.msg_ids.position() == at_capture
+
+    def test_two_images_resume_side_by_side(self):
+        """The satellite regression: two thawed systems interleaved in
+        one OS process allocate independent, cold-identical sequences.
+        """
+        sched_a, sched_b = _schedule(4242), _schedule(977)
+        images = {}
+        for name, sched in (("a", sched_a), ("b", sched_b)):
+            system = build_audit_system(SMALL, sched)
+            system.run(until=60.0)
+            images[name] = capture(system)
+        sys_a, _ = resume(images["a"])
+        sys_b, _ = resume(images["b"])
+        # Interleave the two suffixes in coarse slices; with a shared
+        # global allocator either system would perturb the other's ids.
+        for stop in (80.0, 100.0, SMALL.horizon):
+            sys_a.run(until=stop)
+            sys_b.run(until=stop)
+        assert trace_digest(canonical_trace_lines(sys_a)) == \
+            _cold_digest(sched_a)
+        assert trace_digest(canonical_trace_lines(sys_b)) == \
+            _cold_digest(sched_b)
+        cold_a = build_audit_system(SMALL, sched_a)
+        cold_a.run()
+        # Same number of ids allocated as the cold run — and the warm
+        # sequence started where the capture left off, not at a reset.
+        assert sys_a.msg_ids.position() == cold_a.msg_ids.position()
+        assert sys_b.msg_ids.position() > 1
 
     def test_image_metadata(self):
         schedule = _schedule()

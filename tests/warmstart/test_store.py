@@ -82,6 +82,22 @@ class TestMemoryLayer:
         assert store.stats()["sets"] == 1
         assert store.get(_key(seed=2)) is not None
 
+    def test_eviction_order_is_least_recently_used(self):
+        # Room for two 100-byte sets; runs of puts/gets must evict in
+        # exact recency order, not insertion order.
+        store = ImageStore(max_bytes=200)
+        store.put(_key(seed=1), [_img(10.0, nbytes=100)])
+        store.put(_key(seed=2), [_img(10.0, nbytes=100)])
+        store.get(_key(seed=1))           # recency now: 2, 1
+        store.put(_key(seed=3), [_img(10.0, nbytes=100)])  # evicts 2
+        assert store.get(_key(seed=2)) is None
+        store.get(_key(seed=1))           # recency now: 3, 1
+        store.put(_key(seed=4), [_img(10.0, nbytes=100)])  # evicts 3
+        assert store.get(_key(seed=3)) is None
+        assert store.get(_key(seed=1)) is not None
+        assert store.get(_key(seed=4)) is not None
+        assert store.stats()["evictions"] == 2
+
 
 class TestDiskLayer:
     def test_write_through_and_fresh_store_reads_back(self, tmp_path):
@@ -102,6 +118,22 @@ class TestDiskLayer:
         reader = ImageStore(root=tmp_path)
         assert reader.get(_key()) is None
         assert reader.stats()["misses"] == 1
+
+    def test_evicted_set_refetched_from_disk(self, tmp_path):
+        # The memory cap never loses disk-backed sets: an evicted set
+        # comes back through the disk layer on the next get.
+        store = ImageStore(root=tmp_path, max_bytes=150)
+        store.put(_key(seed=1), [_img(10.0, nbytes=100)])
+        store.put(_key(seed=2), [_img(10.0, nbytes=100)])  # evicts seed-1
+        assert store.stats()["evictions"] == 1
+        assert store.stats()["sets"] == 1
+        images = store.get(_key(seed=1))
+        assert images is not None and images[0].captured_at == 10.0
+        assert store.stats()["hits"] == 1
+        # The re-fetch re-entered the memory layer (and re-applied the
+        # cap, evicting the now-least-recent seed-2 set).
+        assert _key(seed=1).digest() in store._sets
+        assert store.get(_key(seed=2)) is not None  # ...from disk again
 
     def test_clear_drops_memory_and_disk(self, tmp_path):
         store = ImageStore(root=tmp_path)
