@@ -1,0 +1,134 @@
+"""Fabric campaign scaling vs serial execution, with equivalence gates.
+
+Measures, via :mod:`repro.experiments.fabric_bench`:
+
+* wall-clock of a cold audit campaign run serially against the same
+  campaign dispatched over fabric workers — asserting the headline
+  claim of **at least 2.5x** on a host with >= 4 usable CPUs (on
+  smaller boxes the determinism gates still arm and the measured
+  ratio is printed, not asserted);
+* that distribution is invisible: the assembled result list is
+  bit-for-bit identical to serial, down to a canonical sha256 digest
+  of every result dict;
+* the content-addressed store's transfer economics: across two
+  consecutive flock campaigns against a worker with a private CAS
+  directory, each warm-start image set crosses the wire exactly once
+  — the second campaign ships nothing and hits the CAS for every set.
+
+Runnable directly for the CI smoke artifact::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py --json BENCH_fabric.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from conftest import full_mode
+
+from repro.experiments.fabric_bench import (
+    bench_record,
+    format_record,
+    write_record,
+)
+from repro.parallel.pool import default_worker_count
+
+#: The acceptance bar: fabric vs serial on a host that can deliver it.
+MIN_SPEEDUP = 2.5
+
+#: Workers the gate is stated for (and the CPU floor that arms it).
+WORKERS = 4
+
+
+def _sizes():
+    return (64, 600.0) if full_mode() else (32, 400.0)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_fabric_speedup_and_equivalence(bench_once):
+    schedules, horizon = _sizes()
+    cpus = default_worker_count()
+    workers = WORKERS if cpus >= WORKERS else None
+    record = bench_once(bench_record, schedules=schedules,
+                        horizon=horizon, workers=workers)
+    print()
+    print(format_record(record))
+    campaign, transfers = record["campaign"], record["transfers"]
+    # The equivalence gates first: a fast wrong answer is worthless.
+    assert campaign["identical"], "fabric results diverged from serial"
+    assert campaign["digests_identical"], (
+        campaign["digest_serial"], campaign["digest_fabric"])
+    assert campaign["local_runs"] == 0, "healthy workers should do all work"
+    assert transfers["identical"], "flock fabric diverged from serial flock"
+    # Transfer economics: each image set crosses the wire exactly once.
+    assert transfers["first_transfers"] == transfers["image_sets"]
+    assert transfers["second_transfers"] == 0, \
+        "second campaign re-shipped image sets"
+    assert transfers["second_cas_hits"] >= transfers["image_sets"]
+    assert transfers["sets_reexported"] == 0, \
+        "supervisor rebuilt image sets it had already exported"
+    # The speedup floor only arms when the CPUs exist to deliver it.
+    if cpus >= WORKERS:
+        assert campaign["speedup"] >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x at {record['workers']} workers on "
+            f"{cpus} CPUs, measured {campaign['speedup']:.2f}x")
+    else:
+        print(f"(speedup assertion skipped: only {cpus} usable CPU(s); "
+              f"measured {campaign['speedup']:.2f}x)")
+
+
+# ----------------------------------------------------------------------
+# CI smoke artifact
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the measurement record to PATH")
+    parser.add_argument("--schedules", type=int, default=None,
+                        help="bench campaign schedule count override")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="bench campaign horizon override (seconds)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fabric worker count override")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.schedules is not None:
+        kwargs["schedules"] = args.schedules
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    record = bench_record(**kwargs)
+    if args.json:
+        write_record(record, args.json)
+    print(format_record(record))
+
+    failed = False
+    if not record["equivalent"]:
+        print("FAIL: fabric execution diverged from serial "
+              "(results, digests, or flock shard)", file=sys.stderr)
+        failed = True
+    if not record["transfers"]["transfer_once"]:
+        print("FAIL: image sets did not transfer exactly once",
+              file=sys.stderr)
+        failed = True
+    cpus = default_worker_count()
+    speedup = record["campaign"]["speedup"]
+    if cpus >= WORKERS and record["workers"] >= WORKERS:
+        if speedup < MIN_SPEEDUP:
+            print(f"FAIL: campaign speedup {speedup:.2f}x < {MIN_SPEEDUP}x "
+                  f"on {cpus} CPUs", file=sys.stderr)
+            failed = True
+    else:
+        print(f"(speedup floor skipped: {cpus} usable CPU(s), "
+              f"{record['workers']} workers; measured {speedup:.2f}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

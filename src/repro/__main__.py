@@ -242,6 +242,30 @@ def _cmd_bench_warmstart(args) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_bench_fabric(args) -> int:
+    from .experiments.fabric_bench import (
+        bench_record,
+        format_record,
+        write_record,
+    )
+
+    kwargs = {}
+    if args.schedules is not None:
+        kwargs["schedules"] = args.schedules
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    record = bench_record(**kwargs)
+    if args.json:
+        write_record(record, args.json)
+    print(format_record(record))
+    # The CLI gates on equivalence and transfer economics; the speedup
+    # floor (CPU-conditional) is asserted by benchmarks/bench_fabric.py.
+    ok = record["equivalent"] and record["transfers"]["transfer_once"]
+    return 0 if ok else 1
+
+
 def _cmd_audit(args) -> int:
     import dataclasses
     from .audit import (
@@ -302,10 +326,19 @@ def _cmd_audit(args) -> int:
             timeline = reference_timeline(config)
             schedules = share_schedule_seeds(
                 config, generate_schedules(config, timeline=timeline))
+    fabric = getattr(args, "fabric", None)
+    fabric_opts = None
+    if fabric is not None:
+        fabric_opts = {}
+        if getattr(args, "journal", None):
+            fabric_opts["journal"] = args.journal
+        if getattr(args, "cas_dir", None):
+            fabric_opts["cas_dir"] = args.cas_dir
     report = run_audit(config, workers=args.workers, shrink=args.shrink,
                        schedules=schedules, log=lambda msg: print(msg),
                        warmstart=args.warmstart, timeline=timeline,
-                       flock=args.flock, fork_batch=args.fork_batch)
+                       flock=args.flock, fork_batch=args.fork_batch,
+                       fabric=fabric, fabric_opts=fabric_opts)
     print(format_audit_report(report))
     if args.out is not None:
         write_artifact(report, args.out)
@@ -315,6 +348,78 @@ def _cmd_audit(args) -> int:
         # *caught* something.
         return 0 if report.violations else 1
     return 0 if report.clean else 1
+
+
+def _cmd_fabric_supervisor(args) -> int:
+    """Serve one campaign to externally-started fabric workers."""
+    from .audit import (
+        AuditConfig,
+        format_audit_report,
+        run_audit,
+        write_artifact,
+    )
+    from .fabric import FabricConfig
+
+    config = AuditConfig(scheme=args.scheme, seed=args.seed,
+                         schedules=args.schedules, horizon=args.horizon,
+                         topology=args.topology, flock=args.flock,
+                         fork_batch=args.fork_batch)
+    timeline = None
+    schedules = None
+    if args.warmstart or args.flock:
+        from .audit.generator import generate_schedules, reference_timeline
+        from .warmstart import share_schedule_seeds
+        timeline = reference_timeline(config)
+        schedules = share_schedule_seeds(
+            config, generate_schedules(config, timeline=timeline))
+    fabric_opts = {
+        "cas_dir": args.cas_dir,
+        "fabric": FabricConfig(host=args.host, port=args.port,
+                               shard_size=args.shard_size,
+                               heartbeat_timeout=args.heartbeat_timeout),
+        "workers": args.spawn_workers,
+    }
+    if args.journal:
+        fabric_opts["journal"] = args.journal
+    report = run_audit(config, shrink=args.shrink, schedules=schedules,
+                       log=lambda msg: print(msg, flush=True),
+                       warmstart=args.warmstart, timeline=timeline,
+                       flock=args.flock, fork_batch=args.fork_batch,
+                       fabric=fabric_opts.pop("workers"),
+                       fabric_opts=fabric_opts)
+    print(format_audit_report(report))
+    if args.out is not None:
+        write_artifact(report, args.out)
+        print(f"artifact written to {args.out}")
+    if args.expect_violation:
+        return 0 if report.violations else 1
+    return 0 if report.clean else 1
+
+
+def _cmd_fabric_worker(args) -> int:
+    """One host's worker agent: serve campaigns until told otherwise."""
+    from .fabric import FabricWorker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    worker = FabricWorker(args.name, cas_root=args.cas_dir,
+                          log=lambda msg: print(msg, flush=True))
+    try:
+        stats = worker.run(host, int(port),
+                           retry_delay=args.retry_delay,
+                           connect_timeout=args.connect_timeout,
+                           once=args.once)
+    except (TimeoutError, KeyboardInterrupt) as exc:
+        print(f"worker stopping: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker {stats['worker']}: {stats['shards']} shards / "
+          f"{stats['schedules']} schedules across {stats['campaigns']} "
+          f"campaigns; {stats['transfers']} image transfers, "
+          f"{stats['cas_hits']} CAS hits")
+    return 0
 
 
 def _cmd_report(_args) -> int:
@@ -523,6 +628,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="pinned golden digests path override")
     bench_warm.set_defaults(fn=_cmd_bench_warmstart)
 
+    bench_fab = sub.add_parser(
+        "bench-fabric",
+        help="measure fabric campaign scaling vs serial execution and "
+             "verify result-digest equivalence and once-only image-set "
+             "transfers")
+    bench_fab.add_argument("--json", metavar="PATH", default=None,
+                           help="write BENCH_fabric.json-style record "
+                                "to PATH")
+    bench_fab.add_argument("--schedules", type=int, default=None,
+                           help="bench campaign schedule count")
+    bench_fab.add_argument("--horizon", type=float, default=None,
+                           help="bench campaign horizon (seconds)")
+    bench_fab.add_argument("--workers", type=int, default=None,
+                           help="fabric worker count (default: usable "
+                                "CPUs clamped to [2, 4])")
+    bench_fab.set_defaults(fn=_cmd_bench_fabric)
+
     snapstats = sub.add_parser(
         "snapshot-stats",
         help="run a short seeded scenario and print the per-section "
@@ -639,7 +761,77 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--expect-clean", action="store_true",
                        help="exit 0 iff the audit found nothing (the "
                             "default; spelled out for CI readability)")
+    audit.add_argument("--fabric", type=int, default=None, metavar="N",
+                       help="dispatch over the multi-host campaign fabric, "
+                            "spawning N local worker processes (0: serve "
+                            "externally-started workers only)")
+    audit.add_argument("--journal", metavar="PATH", default=None,
+                       help="fabric dispatch journal (enables kill -9 "
+                            "resume of the supervisor)")
+    audit.add_argument("--cas-dir", metavar="DIR", default=None,
+                       help="fabric content-addressed store directory "
+                            "(image-set blobs dedup across campaigns)")
     audit.set_defaults(fn=_cmd_audit)
+
+    fsup = sub.add_parser(
+        "fabric-supervisor",
+        help="serve one audit campaign to fabric workers over TCP "
+             "(work-stealing dispatch, journaled kill -9 resume)")
+    fsup.add_argument("--scheme", default="coordinated",
+                      choices=["naive", "coordinated", "coordinated-no-swap"])
+    fsup.add_argument("--seed", type=int, default=7)
+    fsup.add_argument("--schedules", type=int, default=120)
+    fsup.add_argument("--horizon", type=float, default=600.0)
+    fsup.add_argument("--topology", default="paper")
+    fsup.add_argument("--warmstart", action="store_true",
+                      help="warm execution mode (image sets ship through "
+                           "the content-addressed store)")
+    fsup.add_argument("--flock", action="store_true",
+                      help="suffix-fork execution mode on each worker")
+    fsup.add_argument("--fork-batch", type=int, default=32)
+    fsup.add_argument("--shrink", action="store_true")
+    fsup.add_argument("--host", default="0.0.0.0",
+                      help="bind address for worker connections")
+    fsup.add_argument("--port", type=int, default=7707,
+                      help="bind port (0: ephemeral, printed at startup)")
+    fsup.add_argument("--shard-size", type=int, default=16,
+                      help="schedules per dispatched shard")
+    fsup.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                      help="seconds of silence before a worker is declared "
+                           "dead and its shards requeue")
+    fsup.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                      help="also spawn N local workers (default: external "
+                           "workers only)")
+    fsup.add_argument("--journal", metavar="PATH", default=None,
+                      help="dispatch journal for crash-resume")
+    fsup.add_argument("--cas-dir", required=True, metavar="DIR",
+                      help="content-addressed store directory")
+    fsup.add_argument("--out", metavar="PATH", default=None,
+                      help="write the campaign report artifact")
+    fsup.add_argument("--expect-violation", action="store_true")
+    fsup.set_defaults(fn=_cmd_fabric_supervisor)
+
+    fwork = sub.add_parser(
+        "fabric-worker",
+        help="per-host worker agent: pull shards from a fabric "
+             "supervisor, execute locally, cache image sets in a "
+             "content-addressed store")
+    fwork.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="the supervisor to pull work from")
+    fwork.add_argument("--cas-dir", required=True, metavar="DIR",
+                       help="local content-addressed cache (persists "
+                            "across campaigns: each image set transfers "
+                            "to this host at most once, ever)")
+    fwork.add_argument("--name", default=None,
+                       help="stable worker name (default: host-pid)")
+    fwork.add_argument("--once", action="store_true",
+                       help="exit after one completed campaign")
+    fwork.add_argument("--retry-delay", type=float, default=0.5,
+                       help="seconds between reconnect attempts")
+    fwork.add_argument("--connect-timeout", type=float, default=None,
+                       help="give up if no supervisor is reachable for "
+                            "this long (default: retry forever)")
+    fwork.set_defaults(fn=_cmd_fabric_worker)
     return parser
 
 

@@ -166,7 +166,9 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
               image_store=None,
               timeline=None,
               flock: Optional[bool] = None,
-              fork_batch: Optional[int] = None) -> AuditReport:
+              fork_batch: Optional[int] = None,
+              fabric: Optional[int] = None,
+              fabric_opts: Optional[Dict] = None) -> AuditReport:
     """Run a full campaign: generate, fan out, optionally shrink.
 
     ``warmstart=True`` executes schedules by prefix-resume from
@@ -187,6 +189,16 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
     reference — and forks per-schedule copies from it.  Results stay
     bit-for-bit identical to warm and cold.  ``fork_batch`` (default:
     ``config.fork_batch``) shards large groups across workers.
+
+    ``fabric`` dispatches execution over the multi-host campaign
+    fabric (:mod:`repro.fabric`) instead of an in-process pool: the
+    value is how many local worker *processes* to spawn (``0`` serves
+    externally-started workers only).  The flock/warm flags choose the
+    fabric's execution mode exactly as they do locally, and the
+    results — hence violations, errors, shrunk forms — are bit-for-bit
+    identical.  ``fabric_opts`` passes through to
+    :func:`repro.fabric.run_fabric_campaign` (``journal=``,
+    ``cas_dir=``, ``fabric=FabricConfig(...)``, ...).
     """
     emit = log or (lambda _msg: None)
     start = time.monotonic()
@@ -205,8 +217,11 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
     runner = None
     flock_runner = None
     builder = None
+    fabric_stats: Optional[Dict] = None
     cleanup_root: Optional[str] = None
-    if use_flock:
+    if fabric is not None:
+        pass  # the supervisor owns planning, stores, and image builds
+    elif use_flock:
         from ..flock import FlockRunner
         store = image_store
         if warmstart and workers is not None and workers > 1 and (
@@ -232,7 +247,13 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
         runner.plan(schedules)
 
     try:
-        if flock_runner is not None and workers is not None and workers > 1:
+        if fabric is not None:
+            from ..fabric import run_fabric_campaign
+            results, fabric_stats = run_fabric_campaign(
+                config, schedules, mode=mode, workers=fabric,
+                fork_batch=batch, timeline=timeline, log=emit,
+                **(fabric_opts or {}))
+        elif flock_runner is not None and workers is not None and workers > 1:
             from ..flock import _run_flock_shard
             root = None
             if warmstart and flock_runner.store is not None:
@@ -329,7 +350,14 @@ def run_audit(config: AuditConfig, workers: Optional[int] = None,
             shutil.rmtree(cleanup_root, ignore_errors=True)
 
     warm_stats = None
-    if flock_runner is not None:
+    if fabric_stats is not None:
+        warm_stats = fabric_stats
+        emit(f"fabric: {fabric_stats['shards']} shards over "
+             f"{len(fabric_stats['workers'])} workers, "
+             f"{fabric_stats['steals']} steals, "
+             f"{fabric_stats['requeues']} requeues, "
+             f"{fabric_stats['recovered_shards']} recovered from journal")
+    elif flock_runner is not None:
         warm_stats = flock_runner.stats()
         warm_stats["mode"] = "flock"
         warm_stats["fork_batch"] = batch

@@ -1,0 +1,155 @@
+"""Content-addressed blob store: the fabric's transfer-dedup layer.
+
+Every payload the fabric ships between hosts — warm-start image sets,
+result-cache entries — is stored as an immutable *blob* keyed by the
+sha256 of its bytes.  Content addressing gives the fabric its transfer
+economics for free:
+
+* a blob digest names exactly one byte sequence forever, so a worker
+  that already holds a digest never fetches it again — across shards,
+  across campaigns, across supervisors;
+* writes are atomic-rename (the :mod:`repro.parallel.cache` idiom) and
+  idempotent, so concurrent writers of the same content cannot corrupt
+  each other — last rename wins and both renames carry identical bytes;
+* reads verify the digest before returning, so a torn or corrupted file
+  counts as absent rather than poisoning a campaign.
+
+Mutable names live beside the blobs as *refs*: tiny files mapping a
+logical key (e.g. a warm-start prefix digest) to a blob digest, also
+atomic-rename written.  The supervisor refs each exported image set by
+its prefix, so a second campaign over the same configuration finds the
+existing blob and re-announces the same digest — which every warm
+worker already caches, making the re-transfer count exactly zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+_REF_RE = re.compile(r"^[0-9A-Za-z_.-]{1,128}$")
+
+
+def blob_digest(data: bytes) -> str:
+    """The content address of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class BlobStore:
+    """A directory of sha256-addressed immutable blobs plus named refs.
+
+    Layout::
+
+        <root>/blobs/<digest>          the bytes themselves
+        <root>/refs/<name>             one line: a blob digest
+
+    All counters are per-instance (a process-lifetime view), not
+    persisted: ``hits``/``misses`` count :meth:`get` outcomes,
+    ``puts``/``dedup_puts`` distinguish new writes from content already
+    present — the "transferred exactly once" assertions read them.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.dedup_puts = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def _blob_path(self, digest: str) -> Path:
+        if not _DIGEST_RE.match(digest):
+            raise ValueError(f"malformed blob digest {digest!r}")
+        return self.root / "blobs" / digest
+
+    def _ref_path(self, name: str) -> Path:
+        if not _REF_RE.match(name):
+            raise ValueError(f"malformed ref name {name!r}")
+        return self.root / "refs" / name
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # blobs
+    # ------------------------------------------------------------------
+    def put(self, data: bytes) -> str:
+        """Store ``data``; returns its digest.  Idempotent — content
+        already present is not rewritten (``dedup_puts``)."""
+        digest = blob_digest(data)
+        path = self._blob_path(digest)
+        if path.is_file():
+            self.dedup_puts += 1
+            return digest
+        self._atomic_write(path, data)
+        self.puts += 1
+        self.bytes_written += len(data)
+        return digest
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """The blob's bytes, or ``None``.  A file whose content does not
+        hash to its name (torn write, disk fault) counts as absent."""
+        try:
+            data = self._blob_path(digest).read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        if blob_digest(data) != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def has(self, digest: str) -> bool:
+        """Whether the blob exists (no hit/miss accounting, no
+        content verification — ``get`` still verifies on read)."""
+        try:
+            return self._blob_path(digest).is_file()
+        except ValueError:
+            return False
+
+    def digests(self) -> List[str]:
+        """Every blob digest currently on disk (sorted)."""
+        blobs = self.root / "blobs"
+        if not blobs.is_dir():
+            return []
+        return sorted(p.name for p in blobs.iterdir()
+                      if _DIGEST_RE.match(p.name))
+
+    # ------------------------------------------------------------------
+    # refs
+    # ------------------------------------------------------------------
+    def set_ref(self, name: str, digest: str) -> None:
+        """Point ref ``name`` at ``digest`` (atomic replace)."""
+        if not _DIGEST_RE.match(digest):
+            raise ValueError(f"malformed blob digest {digest!r}")
+        self._atomic_write(self._ref_path(name), digest.encode("ascii"))
+
+    def ref(self, name: str) -> Optional[str]:
+        """The digest ref ``name`` points at, if the ref exists *and*
+        its target blob is present (a dangling ref counts as absent)."""
+        try:
+            digest = self._ref_path(name).read_text("ascii").strip()
+        except (OSError, ValueError):
+            return None
+        if not _DIGEST_RE.match(digest) or not self.has(digest):
+            return None
+        return digest
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports and the bench's dedup assertions."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "dedup_puts": self.dedup_puts,
+                "bytes_written": self.bytes_written,
+                "blobs": len(self.digests())}

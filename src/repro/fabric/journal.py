@@ -1,0 +1,148 @@
+"""Dispatch journal: the supervisor's crash-survivable campaign state.
+
+The fabric must tolerate the failure modes it injects — including a
+``kill -9`` of the supervisor itself.  Everything the supervisor cannot
+recompute is appended to one JSONL journal, flushed (and optionally
+fsynced) record by record:
+
+* a ``campaign`` header pinning the campaign key (config fingerprint +
+  schedule-list digest + execution mode), so a restarted supervisor
+  refuses to resume a journal that belongs to a different campaign;
+* one ``done`` record per completed shard, carrying the shard's result
+  dicts verbatim;
+* ``exclude`` records for workers struck out by the liveness policy
+  (advisory: a restarted supervisor starts workers at zero strikes —
+  results, not grudges, are the durable state).
+
+Everything else — the shard plan, the pending queue, leases — is a
+deterministic function of the campaign config or pure runtime state,
+and is rebuilt on restart: shards with a ``done`` record are complete,
+the rest are re-dispatched.  Re-execution is safe because every shard
+is a pure function of ``(config, schedules)``; the determinism
+discipline makes replayed results bit-for-bit identical, which the
+resume tests assert.
+
+A ``kill -9`` mid-append can tear the final line; :meth:`load`
+tolerates exactly one undecodable trailing line and treats the shard as
+never finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+
+def campaign_key(config, schedules, mode: str) -> str:
+    """The identity of one campaign: what was run, over which
+    schedules, in which execution mode (modes share results but not
+    shard plans, so a journal never resumes across modes)."""
+    payload = json.dumps(
+        [config.fingerprint(),
+         [sched.to_dict() for sched in schedules], mode],
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class JournalMismatch(RuntimeError):
+    """An existing journal belongs to a different campaign."""
+
+
+class DispatchJournal:
+    """Append-only JSONL dispatch state for one campaign."""
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._fh = None
+        #: Results of shards completed in a previous life, by shard id.
+        self.recovered: Dict[int, List[Dict[str, Any]]] = {}
+        #: Whether :meth:`open` found a resumable previous journal.
+        self.resumed = False
+
+    # ------------------------------------------------------------------
+    def open(self, key: str) -> None:
+        """Open for appending; load any previous life's records.
+
+        ``key`` must match an existing journal's campaign header
+        (:class:`JournalMismatch` otherwise — resuming someone else's
+        journal would silently mix campaigns).
+        """
+        existing = self._read_records()
+        if existing:
+            header = existing[0]
+            if (header.get("type") != "campaign"
+                    or header.get("key") != key):
+                raise JournalMismatch(
+                    f"journal {self.path} belongs to campaign "
+                    f"{header.get('key')!r}, not {key!r}")
+            for record in existing[1:]:
+                if record.get("type") == "done":
+                    self.recovered[int(record["shard"])] = record["results"]
+            self.resumed = True
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if not existing:
+            self._append({"type": "campaign", "key": key})
+
+    def _read_records(self) -> List[Dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return []
+        records: List[Dict[str, Any]] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    break  # torn tail from a kill -9 mid-append
+                raise
+        return records
+
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        assert self._fh is not None, "journal not open"
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def shard_done(self, shard: int, worker: str,
+                   results: List[Dict[str, Any]]) -> None:
+        """Record one shard's completion (the durable event)."""
+        self._append({"type": "done", "shard": shard, "worker": worker,
+                      "results": results})
+
+    def worker_excluded(self, worker: str, reason: str) -> None:
+        """Record a worker strike-out (diagnostic, not authoritative)."""
+        self._append({"type": "exclude", "worker": worker,
+                      "reason": reason})
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Free-form diagnostic record (lease/steal/requeue traces)."""
+        record = {"type": kind}
+        record.update(fields)
+        self._append(record)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DispatchJournal":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> List[Dict[str, Any]]:
+    """Every intact record of a journal file (artifact inspection)."""
+    return DispatchJournal(path)._read_records()

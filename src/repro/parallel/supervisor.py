@@ -23,6 +23,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import multiprocessing
+import random
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -37,11 +38,28 @@ class SupervisorConfig:
     max_retries: int = 2
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
+    #: Full jitter: each retry sleeps ``uniform(0, ceiling)`` instead of
+    #: the ceiling itself, so the shards of one failed round don't
+    #: resubmit in lockstep against whatever resource killed them.
+    jitter: bool = True
     start_method: Optional[str] = None
 
-    def backoff(self, attempt: int) -> float:
-        """Sleep before retry ``attempt`` (1-based)."""
-        return self.backoff_base * (self.backoff_factor ** (attempt - 1))
+    def backoff(self, attempt: int,
+                rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry ``attempt`` (1-based).
+
+        The exponential ceiling is ``base * factor**(attempt-1)``; with
+        ``jitter`` the actual sleep is drawn uniformly from
+        ``[0, ceiling)`` (full jitter — the variant that minimizes
+        total contention for a fixed expected delay).  ``rng=None``
+        uses module-level :mod:`random`; tests pass a seeded
+        :class:`random.Random` for reproducible draws.
+        """
+        ceiling = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        if not self.jitter:
+            return ceiling
+        draw = (rng or random).uniform(0.0, ceiling)
+        return draw
 
 
 def multiprocessing_supported(start_method: Optional[str] = None) -> bool:
@@ -72,9 +90,11 @@ class ShardSupervisor:
 
     def __init__(self, config: SupervisorConfig = SupervisorConfig(), *,
                  sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None,
                  progress: Optional[ProgressReporter] = None) -> None:
         self.config = config
         self._sleep = sleep
+        self._rng = rng
         self.progress = progress
         self.events: List[str] = []
 
@@ -136,7 +156,7 @@ class ShardSupervisor:
 
             max_attempt = max(a for _, a in pending)
             if max_attempt > 0:
-                self._sleep(self.config.backoff(max_attempt))
+                self._sleep(self.config.backoff(max_attempt, self._rng))
 
             requeue: List[Tuple[int, int]] = []
             try:

@@ -227,14 +227,20 @@ class WarmRunner:
         if not force:
             if self._group_counts.get(key.digest(), 0) < self.min_group:
                 return False
-        begin = time.monotonic()
-        images = build_image_set(
-            self.config, schedule.system_seed,
-            overrides=tuple(sorted(schedule.overrides)),
-            times=self.planned_times(), codec=self.codec)
-        self.build_seconds += time.monotonic() - begin
-        self.sets_built += 1
-        self.store.put(key, images)
+        with self.store.build_lock(key):
+            # Double-checked: another process sharing this on-disk
+            # store (a co-located fabric worker, a sibling coordinator)
+            # may have built the set while we waited on the lock.
+            if self.store.has(key):
+                return True
+            begin = time.monotonic()
+            images = build_image_set(
+                self.config, schedule.system_seed,
+                overrides=tuple(sorted(schedule.overrides)),
+                times=self.planned_times(), codec=self.codec)
+            self.build_seconds += time.monotonic() - begin
+            self.sets_built += 1
+            self.store.put(key, images)
         return True
 
     def image_for(self, schedule) -> Optional[SystemImage]:

@@ -21,6 +21,7 @@ determinism contract permits.
 from __future__ import annotations
 
 import bisect
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -29,6 +30,11 @@ import pickle
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+try:  # advisory locking is POSIX-only; degrade to lock-free elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from .image import SystemImage
 
@@ -103,7 +109,7 @@ class ImageStore:
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
-            tmp = path.with_suffix(".tmp")
+            tmp = path.with_name(path.name + f".tmp{os.getpid()}")
             with open(tmp, "wb") as fh:
                 pickle.dump({"key": dataclasses.asdict(key),
                              "images": images}, fh,
@@ -139,6 +145,32 @@ class ImageStore:
         if key.digest() in self._sets:
             return True
         return self.root is not None and self._path(key).is_file()
+
+    @contextlib.contextmanager
+    def build_lock(self, key: PrefixKey):
+        """Advisory exclusive lock for building ``key``'s image set.
+
+        Co-located fabric workers (and the parallel warm coordinator's
+        check-then-build) share one on-disk store; without mutual
+        exclusion two processes that both miss can build the same
+        reference prefix twice — wasted work — or interleave writes.
+        The lock is per-prefix (``<digest>.lock`` beside the set file),
+        blocking, and released on exit even if the build raises.  A
+        memory-only store, or a platform without :mod:`fcntl`, degrades
+        to lock-free behavior: correctness never depended on the lock
+        (writes stay atomic-rename), only build economy does.
+        """
+        if self.root is None or fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock_path = self.root / f"{key.digest()}.lock"
+        with open(lock_path, "a+") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def latest_before(self, key: PrefixKey, t: float
                       ) -> Optional[SystemImage]:

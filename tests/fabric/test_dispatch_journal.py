@@ -1,0 +1,118 @@
+"""Dispatch journal: campaign identity, recovery, torn tails."""
+
+import json
+
+import pytest
+
+from repro.audit import AuditConfig
+from repro.audit.generator import generate_schedules
+from repro.fabric.journal import (
+    DispatchJournal,
+    JournalMismatch,
+    campaign_key,
+    read_journal,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AuditConfig(scheme="coordinated", seed=2, schedules=6,
+                       horizon=200.0)
+
+
+@pytest.fixture(scope="module")
+def schedules(config):
+    return generate_schedules(config)
+
+
+class TestCampaignKey:
+    def test_stable_across_calls(self, config, schedules):
+        assert campaign_key(config, schedules, "cold") == \
+            campaign_key(config, schedules, "cold")
+
+    def test_mode_changes_key(self, config, schedules):
+        assert campaign_key(config, schedules, "cold") != \
+            campaign_key(config, schedules, "flock")
+
+    def test_schedule_subset_changes_key(self, config, schedules):
+        assert campaign_key(config, schedules, "cold") != \
+            campaign_key(config, schedules[:-1], "cold")
+
+
+class TestJournalLifecycle:
+    def test_fresh_journal_writes_header(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            assert not journal.resumed
+            journal.shard_done(0, "w0", [{"violated": False}])
+        records = read_journal(str(path))
+        assert records[0] == {"type": "campaign", "key": key}
+        assert records[1]["type"] == "done"
+
+    def test_resume_recovers_done_shards(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            journal.shard_done(0, "w0", [{"r": 1}])
+            journal.shard_done(2, "w1", [{"r": 2}])
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            assert journal.resumed
+            assert journal.recovered == {0: [{"r": 1}], 2: [{"r": 2}]}
+
+    def test_wrong_campaign_refused(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        with DispatchJournal(str(path)) as journal:
+            journal.open(campaign_key(config, schedules, "cold"))
+        with pytest.raises(JournalMismatch):
+            DispatchJournal(str(path)).open(
+                campaign_key(config, schedules, "flock"))
+
+    def test_torn_tail_is_tolerated(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            journal.shard_done(0, "w0", [{"r": 1}])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "done", "shard": 1, "resu')  # kill -9 here
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            assert journal.recovered == {0: [{"r": 1}]}
+
+    def test_torn_middle_is_an_error(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("NOT JSON\n")
+            fh.write(json.dumps({"type": "done", "shard": 1,
+                                 "results": []}) + "\n")
+        with pytest.raises(ValueError):
+            DispatchJournal(str(path)).open(key)
+
+    def test_notes_and_exclusions_are_recorded(self, tmp_path, config,
+                                               schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            journal.note("steal", shard=3, worker="w1")
+            journal.worker_excluded("w9", "too many strikes")
+        kinds = [r["type"] for r in read_journal(str(path))]
+        assert kinds == ["campaign", "steal", "exclude"]
+
+    def test_notes_do_not_affect_recovery(self, tmp_path, config, schedules):
+        path = tmp_path / "j.jsonl"
+        key = campaign_key(config, schedules, "cold")
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            journal.note("requeue", shard=1, reason="worker died", attempt=1)
+            journal.shard_done(1, "w0", [{"r": 9}])
+        with DispatchJournal(str(path)) as journal:
+            journal.open(key)
+            assert journal.recovered == {1: [{"r": 9}]}

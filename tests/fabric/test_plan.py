@@ -1,0 +1,89 @@
+"""Shard planning: flock-aware grouping, chunking, ordering."""
+
+import pytest
+
+from repro.audit import AuditConfig
+from repro.audit.generator import generate_schedules, reference_timeline
+from repro.fabric.plan import plan_prefixes, plan_shards
+from repro.warmstart import share_schedule_seeds
+from repro.warmstart.store import PrefixKey
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AuditConfig(scheme="coordinated", seed=5, schedules=24,
+                       horizon=240.0)
+
+
+@pytest.fixture(scope="module")
+def shared(config):
+    tl = reference_timeline(config)
+    return share_schedule_seeds(
+        config, generate_schedules(config, timeline=tl))
+
+
+@pytest.fixture(scope="module")
+def diverse(config):
+    return generate_schedules(config)
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self, config, shared):
+        assert plan_shards(config, shared) == plan_shards(config, shared)
+
+    def test_every_schedule_planned_exactly_once(self, config, shared):
+        plan = plan_shards(config, shared, shard_size=4)
+        seen = [i for shard in plan for i in shard.indices]
+        assert sorted(seen) == list(range(len(shared)))
+
+    def test_shard_ids_are_positional(self, config, shared):
+        plan = plan_shards(config, shared, shard_size=4)
+        assert [s.shard_id for s in plan] == list(range(len(plan)))
+
+    def test_grouped_shards_share_one_prefix(self, config, shared):
+        for shard in plan_shards(config, shared, shard_size=6):
+            if shard.prefix is None:
+                continue
+            digests = {PrefixKey.for_schedule(config, shared[i]).digest()
+                       for i in shard.indices}
+            assert digests == {shard.prefix}
+
+    def test_shard_size_bounds_every_shard(self, config, shared):
+        for shard in plan_shards(config, shared, shard_size=5):
+            assert 1 <= len(shard.indices) <= 5
+
+    def test_largest_groups_dispatch_first(self, config, shared):
+        plan = plan_shards(config, shared, shard_size=100)
+        group_sizes = [len(s.indices) for s in plan if s.prefix is not None]
+        assert group_sizes == sorted(group_sizes, reverse=True)
+
+    def test_mixed_shards_trail_the_plan(self, config, shared):
+        plan = plan_shards(config, shared, shard_size=4)
+        kinds = [s.prefix is None for s in plan]
+        assert kinds == sorted(kinds)  # all False before all True
+
+    def test_divergence_ascending_within_group(self, config, shared):
+        from repro.warmstart.engine import divergence_time
+        for shard in plan_shards(config, shared, shard_size=100):
+            if shard.prefix is None:
+                continue
+            times = [divergence_time(shared[i]) for i in shard.indices]
+            assert times == sorted(times)
+
+    def test_diverse_seeds_mostly_pool_cold(self, config, diverse):
+        # Per-schedule seeds -> singleton prefixes -> mixed shards.
+        plan = plan_shards(config, diverse, shard_size=8)
+        mixed = [s for s in plan if s.prefix is None]
+        assert sum(len(s.indices) for s in mixed) >= len(diverse) - 4
+
+    def test_plan_prefixes_are_distinct_sorted(self, config, shared):
+        plan = plan_shards(config, shared, shard_size=3)
+        prefixes = plan_prefixes(plan)
+        assert prefixes == sorted(set(prefixes))
+        assert all(isinstance(p, str) for p in prefixes)
+
+    def test_to_dict_shape(self, config, shared):
+        shard = plan_shards(config, shared, shard_size=4)[0]
+        data = shard.to_dict()
+        assert data["shard_id"] == 0
+        assert data["indices"] == list(shard.indices)

@@ -7,6 +7,7 @@ key off the process name.
 
 import multiprocessing
 import os
+import random
 import time
 
 import pytest
@@ -122,7 +123,8 @@ class TestFailureHandling:
             sup.run(_always_raise, [5], workers=2)
 
     def test_backoff_grows_exponentially(self):
-        config = SupervisorConfig(backoff_base=0.5, backoff_factor=3.0)
+        config = SupervisorConfig(backoff_base=0.5, backoff_factor=3.0,
+                                  jitter=False)
         assert config.backoff(1) == 0.5
         assert config.backoff(2) == 1.5
         assert config.backoff(3) == 4.5
@@ -131,6 +133,47 @@ class TestFailureHandling:
         sup, slept = fast_supervisor(max_retries=2, backoff_base=0.01)
         sup.run(_always_crash_in_worker, [1, 2], workers=2)
         assert slept, "retry rounds should sleep"
+
+
+class TestBackoffJitter:
+    """Full jitter: sleeps draw from [0, exponential ceiling)."""
+
+    def test_jitter_respects_exponential_ceiling(self):
+        config = SupervisorConfig(backoff_base=0.5, backoff_factor=3.0)
+        rng = random.Random(7)
+        for attempt in (1, 2, 3, 4):
+            ceiling = 0.5 * (3.0 ** (attempt - 1))
+            for _ in range(200):
+                draw = config.backoff(attempt, rng)
+                assert 0.0 <= draw <= ceiling
+
+    def test_jitter_actually_spreads(self):
+        config = SupervisorConfig(backoff_base=1.0, backoff_factor=2.0)
+        rng = random.Random(11)
+        draws = {config.backoff(3, rng) for _ in range(50)}
+        assert len(draws) > 40, "full jitter should not collapse"
+
+    def test_seeded_rng_is_deterministic(self):
+        config = SupervisorConfig(backoff_base=0.25, backoff_factor=2.0)
+        first = [config.backoff(a, random.Random(42)) for a in (1, 2, 3)]
+        second = [config.backoff(a, random.Random(42)) for a in (1, 2, 3)]
+        assert first == second
+
+    def test_jitter_off_restores_pure_exponential(self):
+        config = SupervisorConfig(backoff_base=0.25, backoff_factor=2.0,
+                                  jitter=False)
+        assert [config.backoff(a) for a in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_supervisor_threads_rng_into_sleeps(self):
+        slept = []
+        sup = ShardSupervisor(
+            SupervisorConfig(shard_timeout=30.0, max_retries=1,
+                             backoff_base=0.125, backoff_factor=2.0),
+            sleep=slept.append, rng=random.Random(3))
+        sup.run(_always_crash_in_worker, [1, 2], workers=2)
+        expected_first = random.Random(3).uniform(0.0, 0.125)
+        assert slept and slept[0] == expected_first
+        assert all(0.0 <= s <= 0.25 for s in slept)
 
 
 class TestPlatformProbe:

@@ -15,7 +15,8 @@ class TestParser:
         for command in ("scenarios", "fig7", "table1", "overhead",
                         "ablations", "demo", "timeline", "report",
                         "snapshot-stats", "bench-kernel", "bench-warmstart",
-                        "audit", "live-demo", "live-crosscheck"):
+                        "bench-fabric", "audit", "live-demo",
+                        "live-crosscheck"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -74,6 +75,70 @@ class TestParser:
         assert args.horizon is None
         assert args.json is None
         assert args.golden is None
+
+    def test_audit_fabric_flags(self):
+        args = build_parser().parse_args(
+            ["audit", "--fabric", "2", "--journal", "j.jsonl",
+             "--cas-dir", "/tmp/cas"])
+        assert args.fabric == 2
+        assert args.journal == "j.jsonl"
+        assert args.cas_dir == "/tmp/cas"
+
+    def test_audit_fabric_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.fabric is None
+        assert args.journal is None
+        assert args.cas_dir is None
+
+    def test_bench_fabric_flags(self):
+        args = build_parser().parse_args(
+            ["bench-fabric", "--schedules", "16", "--horizon", "300",
+             "--workers", "3", "--json", "out.json"])
+        assert args.schedules == 16
+        assert args.horizon == 300.0
+        assert args.workers == 3
+        assert args.json == "out.json"
+
+    def test_bench_fabric_defaults(self):
+        args = build_parser().parse_args(["bench-fabric"])
+        assert args.schedules is None
+        assert args.horizon is None
+        assert args.workers is None
+        assert args.json is None
+
+    def test_fabric_supervisor_flags(self):
+        args = build_parser().parse_args(
+            ["fabric-supervisor", "--cas-dir", "/tmp/cas", "--flock",
+             "--port", "0", "--shard-size", "8", "--spawn-workers", "2",
+             "--journal", "j.jsonl", "--out", "a.json"])
+        assert args.cas_dir == "/tmp/cas"
+        assert args.flock
+        assert args.port == 0
+        assert args.shard_size == 8
+        assert args.spawn_workers == 2
+        assert args.journal == "j.jsonl"
+        assert args.out == "a.json"
+        assert callable(args.fn)
+
+    def test_fabric_supervisor_requires_cas_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fabric-supervisor"])
+
+    def test_fabric_worker_flags(self):
+        args = build_parser().parse_args(
+            ["fabric-worker", "--connect", "hostA:7707",
+             "--cas-dir", "/tmp/cas", "--name", "w7", "--once",
+             "--connect-timeout", "5"])
+        assert args.connect == "hostA:7707"
+        assert args.cas_dir == "/tmp/cas"
+        assert args.name == "w7"
+        assert args.once
+        assert args.connect_timeout == 5.0
+        assert callable(args.fn)
+
+    def test_fabric_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fabric-worker", "--cas-dir", "/x"])
 
     def test_audit_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
@@ -345,6 +410,30 @@ class TestExecution:
                       "decode_seconds", "build_seconds",
                       "dump_encode_seconds", "forks", "dumps"):
             assert field in flock["flock_stats"], field
+
+    def test_bench_fabric_reduced_writes_record(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "BENCH_fabric.json"
+        assert main(["bench-fabric", "--schedules", "8", "--horizon",
+                     "240", "--workers", "2", "--json", str(out)]) == 0
+        assert "transfers" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["bench"] == "fabric"
+        entry = document["trajectory"][-1]
+        assert entry["equivalent"] and entry["transfer_once"]
+        record = document["latest"]
+        assert record["campaign"]["digests_identical"]
+        assert record["transfers"]["second_transfers"] == 0
+
+    def test_audit_fabric_small_campaign_clean(self, capsys, tmp_path):
+        assert main(["audit", "--scheme", "coordinated", "--seed", "7",
+                     "--schedules", "12", "--fabric", "2",
+                     "--journal", str(tmp_path / "j.jsonl"),
+                     "--cas-dir", str(tmp_path / "cas"),
+                     "--expect-clean"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric" in out
+        assert "PASS" in out
 
     def test_audit_coordinated_small_campaign_clean(self, capsys):
         assert main(["audit", "--scheme", "coordinated", "--seed", "7",
